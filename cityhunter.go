@@ -1,0 +1,380 @@
+// Package cityhunter is a research reproduction of "City-Hunter: Hunting
+// Smartphones in Urban Areas" (ICDCS 2017): an evil-twin Wi-Fi attacker
+// that lures smartphones which disclose no SSIDs, by answering their
+// broadcast probe requests with carefully selected SSID guesses.
+//
+// Because the original system needs injection-capable Wi-Fi hardware and a
+// live crowd, this library ships a faithful discrete-event substitute: an
+// 802.11 management-plane simulator, a synthetic city with a
+// WiGLE-substitute AP database and a photo-derived crowd heat map, a
+// smartphone population model, and the three attack strategies the paper
+// compares (KARMA, MANA, City-Hunter). Every table and figure of the
+// paper's evaluation can be regenerated; see the experiments command and
+// EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	world, err := cityhunter.NewWorld()
+//	if err != nil { ... }
+//	res, err := world.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+//		cityhunter.LunchSlot, 30*time.Minute)
+//	if err != nil { ... }
+//	fmt.Println(res.Tally) // hit rate h and broadcast hit rate h_b
+//
+// All randomness derives from the world seed: identical seeds give
+// byte-identical results.
+package cityhunter
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/citygen"
+	"cityhunter/internal/core"
+	"cityhunter/internal/detect"
+	"cityhunter/internal/heatmap"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/scenario"
+	"cityhunter/internal/stats"
+	"cityhunter/internal/trace"
+	"cityhunter/internal/wigle"
+)
+
+// Re-exported building blocks. The implementation lives in internal
+// packages; these aliases are the supported public surface.
+type (
+	// World-building inputs.
+	CityConfig = citygen.Config
+	City       = citygen.City
+	HeatMap    = heatmap.Map
+	PNLConfig  = pnl.Config
+	PNLModel   = pnl.Model
+	WiGLEDB    = wigle.DB
+
+	// Experiment surface.
+	Venue      = scenario.Venue
+	AttackKind = scenario.AttackKind
+	Result     = scenario.Result
+	CoreConfig = core.Config
+
+	// Metrics.
+	Tally     = stats.Tally
+	Breakdown = stats.Breakdown
+	Outcome   = stats.ClientOutcome
+	Histogram = stats.Histogram
+
+	// Countermeasures and capture.
+	Sentinel     = detect.Sentinel
+	Finding      = detect.Finding
+	TraceMonitor = trace.Monitor
+	TraceEntry   = trace.Entry
+)
+
+// Attack strategies.
+const (
+	// KARMA answers directed probes only (Dai Zovi & Macaulay 2005).
+	KARMA = scenario.KARMA
+	// MANA additionally harvests disclosed SSIDs and replays them
+	// (White & de Villiers, DEF CON 22).
+	MANA = scenario.MANA
+	// CityHunterPreliminary is the paper's §III design: WiGLE seeding
+	// plus per-client untried rotation.
+	CityHunterPreliminary = scenario.CityHunterPreliminary
+	// CityHunter is the full §IV design with adaptive popularity and
+	// freshness buffers.
+	CityHunter = scenario.CityHunter
+	// KnownBeacons is the wifiphisher-style related attack: forged
+	// beacons cycling the lure list, no probe responses.
+	KnownBeacons = scenario.KnownBeacons
+)
+
+// Common hour slots of the 8am–8pm profiles.
+const (
+	// MorningRushSlot is 8am–9am.
+	MorningRushSlot = 0
+	// LunchSlot is 12pm–1pm.
+	LunchSlot = 4
+	// EveningRushSlot is 6pm–7pm.
+	EveningRushSlot = 10
+)
+
+// City presets, re-exported.
+var (
+	// DefaultCityConfig is the Hong Kong-flavoured dense city the paper's
+	// numbers calibrate against.
+	DefaultCityConfig = citygen.DefaultConfig
+	// SparseCityConfig is a low-density suburb variant with a thin
+	// public-Wi-Fi ecosystem.
+	SparseCityConfig = citygen.SparseConfig
+)
+
+// Venue persistence, re-exported: venues round-trip through a declarative
+// JSON format so deployments can be shared as files (see
+// cmd/cityhunter-sim's -venue-file flag).
+var (
+	// SaveVenue writes a venue as JSON.
+	SaveVenue = scenario.SaveVenue
+	// LoadVenue reads and validates a venue written by SaveVenue.
+	LoadVenue = scenario.LoadVenue
+)
+
+// Venue constructors, re-exported.
+var (
+	// PassageVenue is the subway passage (everyone moving).
+	PassageVenue = scenario.PassageVenue
+	// CanteenVenue is the canteen (almost everyone seated).
+	CanteenVenue = scenario.CanteenVenue
+	// MallVenue is the shopping centre (mixed mobility).
+	MallVenue = scenario.MallVenue
+	// StationVenue is the railway station (mixed, commuter peaks).
+	StationVenue = scenario.StationVenue
+	// AllVenues lists the four in Figure 5 order.
+	AllVenues = scenario.AllVenues
+)
+
+// World is a generated urban environment ready to host experiments: the
+// city with its access points, the photo-derived heat map, the phone
+// population model, and the attacker's (imperfect) WiGLE snapshot.
+type World struct {
+	// City is the synthetic environment.
+	City *City
+	// Heat is the crowd heat map derived from geotagged photos.
+	Heat *HeatMap
+	// PNL is the phone preferred-network-list model.
+	PNL *PNLModel
+	// WiGLE is the attacker's offline database: the city's networks with
+	// crowd-sourcing coverage gaps.
+	WiGLE *WiGLEDB
+
+	seed int64
+}
+
+// worldOptions collects the functional options of NewWorld.
+type worldOptions struct {
+	seed      int64
+	cityCfg   *CityConfig
+	pnlCfg    *PNLConfig
+	missSmall float64
+	missMid   float64
+	perfectDB bool
+	heatCell  float64
+}
+
+// WorldOption customises NewWorld.
+type WorldOption interface{ applyWorld(*worldOptions) }
+
+type worldOptionFunc func(*worldOptions)
+
+func (f worldOptionFunc) applyWorld(o *worldOptions) { f(o) }
+
+// WithSeed sets the world seed (default 1).
+func WithSeed(seed int64) WorldOption {
+	return worldOptionFunc(func(o *worldOptions) { o.seed = seed })
+}
+
+// WithCityConfig replaces the default synthetic-city configuration.
+func WithCityConfig(cfg CityConfig) WorldOption {
+	return worldOptionFunc(func(o *worldOptions) { o.cityCfg = &cfg })
+}
+
+// WithPNLConfig replaces the calibrated phone-population configuration.
+func WithPNLConfig(cfg PNLConfig) WorldOption {
+	return worldOptionFunc(func(o *worldOptions) { o.pnlCfg = &cfg })
+}
+
+// WithWiGLEGaps sets the crowd-sourcing miss probabilities for small
+// (≤3 APs) and mid-size (4–20 APs) networks. Defaults are 0.35 and 0.05.
+func WithWiGLEGaps(missSmall, missMid float64) WorldOption {
+	return worldOptionFunc(func(o *worldOptions) {
+		o.missSmall, o.missMid = missSmall, missMid
+	})
+}
+
+// WithPerfectWiGLE gives the attacker a gap-free database (an ablation).
+func WithPerfectWiGLE() WorldOption {
+	return worldOptionFunc(func(o *worldOptions) { o.perfectDB = true })
+}
+
+// WithHeatCellSize sets the heat-map grid cell edge in metres (default 200).
+func WithHeatCellSize(metres float64) WorldOption {
+	return worldOptionFunc(func(o *worldOptions) { o.heatCell = metres })
+}
+
+// NewWorld generates a world. With no options it builds the calibrated
+// default: an 8 km × 8 km Hong Kong-flavoured city, 200 m heat cells, and
+// a WiGLE snapshot missing 35 % of small networks.
+func NewWorld(opts ...WorldOption) (*World, error) {
+	o := worldOptions{
+		seed:      1,
+		missSmall: 0.35,
+		missMid:   0.05,
+		heatCell:  200,
+	}
+	for _, opt := range opts {
+		opt.applyWorld(&o)
+	}
+
+	cityCfg := citygen.DefaultConfig(o.seed)
+	if o.cityCfg != nil {
+		cityCfg = *o.cityCfg
+		cityCfg.Seed = o.seed
+	}
+	city, err := citygen.Generate(cityCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cityhunter: generate city: %w", err)
+	}
+	heat, err := heatmap.FromPhotos(city.Bounds, o.heatCell, city.Photos)
+	if err != nil {
+		return nil, fmt.Errorf("cityhunter: build heat map: %w", err)
+	}
+	pnlCfg := pnl.DefaultConfig()
+	if o.pnlCfg != nil {
+		pnlCfg = *o.pnlCfg
+	}
+	model, err := pnl.NewModel(city.DB, heat, pnlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cityhunter: build PNL model: %w", err)
+	}
+	db := city.DB
+	if !o.perfectDB {
+		db, err = city.DB.SampleCrowdsourced(rand.New(rand.NewSource(o.seed+999)), o.missSmall, o.missMid)
+		if err != nil {
+			return nil, fmt.Errorf("cityhunter: sample WiGLE: %w", err)
+		}
+	}
+	return &World{City: city, Heat: heat, PNL: model, WiGLE: db, seed: o.seed}, nil
+}
+
+// Seed returns the world seed.
+func (w *World) Seed() int64 { return w.seed }
+
+// runOptions collects the functional options of Run.
+type runOptions struct {
+	cfg scenario.Config
+}
+
+// RunOption customises a single experiment run.
+type RunOption interface{ applyRun(*runOptions) }
+
+type runOptionFunc func(*runOptions)
+
+func (f runOptionFunc) applyRun(o *runOptions) { f(o) }
+
+// WithRunSeed decorrelates repeated runs (default: the world seed).
+func WithRunSeed(seed int64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Seed = seed })
+}
+
+// WithDirectProberFraction sets the share of unsafe phones (default 0.15).
+func WithDirectProberFraction(f float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.DirectProberFraction = f })
+}
+
+// WithScanInterval sets the mean phone scan period (default 60 s).
+func WithScanInterval(d time.Duration) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.ScanInterval = d })
+}
+
+// WithDeauth arms the §V-B deauthentication extension and marks the given
+// fraction of phones as pre-connected to the venue's legitimate AP.
+func WithDeauth(preconnectedFraction float64) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		o.cfg.EnableDeauth = true
+		o.cfg.PreconnectedFraction = preconnectedFraction
+	})
+}
+
+// WithPreconnected marks a fraction of phones pre-connected without arming
+// the deauth extension (the control condition).
+func WithPreconnected(fraction float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.PreconnectedFraction = fraction })
+}
+
+// WithCoreConfig overrides the City-Hunter engine configuration (for
+// ablations: fixed buffers, no rotation, carrier seeding, ...).
+func WithCoreConfig(cfg CoreConfig) RunOption {
+	return runOptionFunc(func(o *runOptions) { c := cfg; o.cfg.CoreConfig = &c })
+}
+
+// WithSampling records engine state every period (Figure 1-style series).
+func WithSampling(period time.Duration) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.SampleEvery = period })
+}
+
+// WithArrivalScale multiplies the venue's arrival rates (a speed knob).
+func WithArrivalScale(scale float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.ArrivalScale = scale })
+}
+
+// WithCanaryClients makes the given fraction of phones run the canary-probe
+// evil-twin detector: they unmask the attacker with a probe for a
+// nonexistent SSID and ignore it afterwards.
+func WithCanaryClients(fraction float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.CanaryFraction = fraction })
+}
+
+// WithWiGLE overrides the attacker's offline database for one run —
+// sensitivity studies resample the crowd-sourcing gaps without rebuilding
+// the world.
+func WithWiGLE(db *WiGLEDB) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.WiGLE = db })
+}
+
+// WithFrameLoss drops each frame delivery independently with probability p
+// — interference the ideal disk model otherwise ignores. Failure-injection
+// knob; the calibrated default is 0.
+func WithFrameLoss(p float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.FrameLoss = p })
+}
+
+// WithRandomizedMACs makes the given fraction of phones rotate their probe
+// MAC every scan, the privacy default of modern mobile OSes. It defeats
+// the attacker's per-client rotation without any cooperation from the
+// network side.
+func WithRandomizedMACs(fraction float64) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.RandomizeMACFraction = fraction })
+}
+
+// WithCautiousMirror makes the attacker answer directed probes only for
+// SSIDs already in its database — its counter-move against canary probing,
+// at the cost of first-sighting direct hits.
+func WithCautiousMirror() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.CautiousMirror = true })
+}
+
+// WithSentinel deploys a passive many-SSIDs-one-BSSID detector at the
+// venue; Result.Sentinel exposes what it flagged and when.
+func WithSentinel() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Sentinel = true })
+}
+
+// WithTrace records every frame at the venue into Result.Trace (bounded to
+// about a million entries).
+func WithTrace() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Trace = true })
+}
+
+// Run deploys the chosen attacker at the venue for one test: the venue's
+// slot-th hour (slot 0 is 8am–9am) truncated to the given duration. The
+// attacker's database is re-initialised for every run, as in the paper.
+func (w *World) Run(venue Venue, kind AttackKind, slot int, duration time.Duration, opts ...RunOption) (*Result, error) {
+	o := runOptions{cfg: scenario.Config{
+		City:                 w.City,
+		HeatMap:              w.Heat,
+		PNL:                  w.PNL,
+		WiGLE:                w.WiGLE,
+		Venue:                venue,
+		Attack:               kind,
+		DirectProberFraction: 0.15,
+		Seed:                 w.seed,
+	}}
+	for _, opt := range opts {
+		opt.applyRun(&o)
+	}
+	res, err := scenario.Run(o.cfg, slot, duration)
+	if err != nil {
+		return nil, fmt.Errorf("cityhunter: %w", err)
+	}
+	return res, nil
+}

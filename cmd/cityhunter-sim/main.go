@@ -1,0 +1,190 @@
+// Command cityhunter-sim runs one attacker deployment and prints the
+// result table, the way the paper reports a single field test.
+//
+// Usage:
+//
+//	cityhunter-sim [flags]
+//
+//	-venue    passage|canteen|mall|station   (default canteen)
+//	-attack   karma|mana|prelim|cityhunter   (default cityhunter)
+//	-slot     hour slot 0..11, 0 = 8am-9am   (default 4 = 12pm-1pm)
+//	-minutes  run length                     (default 30)
+//	-seed     world seed                     (default 1)
+//	-deauth   arm the deauthentication extension
+//	-preconnected  fraction of phones arriving connected (default 0)
+//	-breakdown     print the Fig.6-style hit breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cityhunter"
+	"cityhunter/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cityhunter-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cityhunter-sim", flag.ContinueOnError)
+	var (
+		venueName    = fs.String("venue", "canteen", "passage|canteen|mall|station")
+		attackName   = fs.String("attack", "cityhunter", "karma|mana|prelim|cityhunter|known-beacons")
+		slot         = fs.Int("slot", 4, "hour slot 0..11 (0 = 8am-9am)")
+		minutes      = fs.Int("minutes", 30, "run length in minutes")
+		seed         = fs.Int64("seed", 1, "world seed")
+		deauth       = fs.Bool("deauth", false, "arm the deauthentication extension")
+		preconnected = fs.Float64("preconnected", 0, "fraction of phones arriving connected to the venue AP")
+		breakdown    = fs.Bool("breakdown", false, "print the hit breakdown (City-Hunter only)")
+		pcapPath     = fs.String("pcap", "", "capture every frame at the venue into this pcap file")
+		venueFile    = fs.String("venue-file", "", "load the venue from this JSON file instead of -venue")
+		loss         = fs.Float64("loss", 0, "independent frame-loss probability (failure injection)")
+		canary       = fs.Float64("canary", 0, "fraction of phones running the canary-probe detector")
+		randomizeMAC = fs.Float64("randomize-macs", 0, "fraction of phones rotating their probe MAC per scan")
+		sentinel     = fs.Bool("sentinel", false, "deploy the passive evil-twin sentinel and report its findings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var venue cityhunter.Venue
+	if *venueFile != "" {
+		f, err := os.Open(*venueFile)
+		if err != nil {
+			return err
+		}
+		venue, err = cityhunter.LoadVenue(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		venue, err = venueByName(*venueName)
+		if err != nil {
+			return err
+		}
+	}
+	kind, err := attackByName(*attackName)
+	if err != nil {
+		return err
+	}
+
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+
+	var opts []cityhunter.RunOption
+	if *pcapPath != "" {
+		opts = append(opts, cityhunter.WithTrace())
+	}
+	if *loss > 0 {
+		opts = append(opts, cityhunter.WithFrameLoss(*loss))
+	}
+	if *canary > 0 {
+		opts = append(opts, cityhunter.WithCanaryClients(*canary))
+	}
+	if *randomizeMAC > 0 {
+		opts = append(opts, cityhunter.WithRandomizedMACs(*randomizeMAC))
+	}
+	if *sentinel {
+		opts = append(opts, cityhunter.WithSentinel())
+	}
+	if *deauth {
+		opts = append(opts, cityhunter.WithDeauth(*preconnected))
+	} else if *preconnected > 0 {
+		opts = append(opts, cityhunter.WithPreconnected(*preconnected))
+	}
+
+	res, err := world.Run(venue, kind, *slot, time.Duration(*minutes)*time.Minute, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s at the %s, %s, %d minutes\n", res.Attack, res.Venue, res.SlotLabel, *minutes)
+	fmt.Println(res.Tally)
+	if res.Report.DeauthsSent > 0 {
+		fmt.Printf("spoofed deauthentications sent: %d\n", res.Report.DeauthsSent)
+	}
+	if *pcapPath != "" && res.Trace != nil {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			return err
+		}
+		err = res.Trace.WritePcap(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d captured frames to %s (dropped %d beyond the cap)\n",
+			res.Trace.Len(), *pcapPath, res.Trace.Dropped)
+		a := trace.Analyze(res.Trace.Entries())
+		fmt.Printf("capture: %d frames, %d probers (%d direct), probe interval p50=%v p90=%v\n",
+			a.Frames, a.Probers, a.DirectProbers,
+			a.ProbeIntervalP50.Truncate(time.Millisecond),
+			a.ProbeIntervalP90.Truncate(time.Millisecond))
+	}
+	if res.CanaryDetections > 0 {
+		fmt.Printf("canary unmaskings by defended phones: %d\n", res.CanaryDetections)
+	}
+	if *sentinel && res.Sentinel != nil {
+		if findings := res.Sentinel.Findings(); len(findings) > 0 {
+			f := findings[0]
+			fmt.Printf("sentinel flagged %v after %v (%d lure SSIDs)\n",
+				f.BSSID, f.FlaggedAt.Truncate(time.Millisecond), res.Sentinel.SSIDCount(f.BSSID))
+		} else {
+			fmt.Println("sentinel flagged nothing")
+		}
+	}
+	if *breakdown && res.Engine != nil {
+		b := res.Breakdown()
+		fmt.Printf("hitting SSIDs: %d from WiGLE, %d harvested, %d carrier\n",
+			b.FromWiGLE, b.FromDirect, b.FromCarrier)
+		fmt.Printf("served by: popularity side %d, freshness side %d\n",
+			b.FromPopularity, b.FromFreshness)
+	}
+	return nil
+}
+
+func venueByName(name string) (cityhunter.Venue, error) {
+	switch strings.ToLower(name) {
+	case "passage", "subway":
+		return cityhunter.PassageVenue(), nil
+	case "canteen":
+		return cityhunter.CanteenVenue(), nil
+	case "mall", "shopping":
+		return cityhunter.MallVenue(), nil
+	case "station", "railway":
+		return cityhunter.StationVenue(), nil
+	default:
+		return cityhunter.Venue{}, fmt.Errorf("unknown venue %q", name)
+	}
+}
+
+func attackByName(name string) (cityhunter.AttackKind, error) {
+	switch strings.ToLower(name) {
+	case "karma":
+		return cityhunter.KARMA, nil
+	case "mana":
+		return cityhunter.MANA, nil
+	case "prelim", "preliminary":
+		return cityhunter.CityHunterPreliminary, nil
+	case "cityhunter", "city-hunter", "full":
+		return cityhunter.CityHunter, nil
+	case "beacons", "known-beacons":
+		return cityhunter.KnownBeacons, nil
+	default:
+		return 0, fmt.Errorf("unknown attack %q", name)
+	}
+}

@@ -1,0 +1,204 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the index and EXPERIMENTS.md for measured
+// results).
+//
+// Usage:
+//
+//	experiments [-seed N] [-slot-minutes M] [-scale F] [-only name,...]
+//
+// The defaults run the full-scale harness: 30-minute table experiments and
+// a 4-venue × 12-hour-slot grid at the paper's crowd rates (a few minutes
+// of CPU). -slot-minutes and -scale shrink the runs for quick looks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cityhunter"
+	"cityhunter/internal/experiments"
+	"cityhunter/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		seed        = fs.Int64("seed", 1, "world seed")
+		slotMinutes = fs.Int("slot-minutes", 0, "cap each run at this many minutes (0 = full length)")
+		scale       = fs.Float64("scale", 1, "crowd arrival-rate multiplier")
+		only        = fs.String("only", "", "comma-separated subset: table1,table2,table3,table4,figure1,figure2,figure4,figure5,figure6,extensions,ablation,countermeasures,robustness,sensitivity")
+		heatPNG     = fs.String("heatmap-png", "", "also render the Figure 4 heat map to this PNG file")
+		replicas    = fs.Int("replicas", 5, "seeds for the robustness replication")
+		jsonPath    = fs.String("json", "", "also write every generated result as JSON to this file")
+		mdPath      = fs.String("markdown", "", "also write a paper-vs-measured markdown report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, n := range strings.Split(*only, ",") {
+			if strings.TrimSpace(n) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Printf("generating world (seed %d)...\n", *seed)
+	start := time.Now()
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world ready in %v: %d APs, %d in the attacker's WiGLE snapshot\n\n",
+		time.Since(start).Truncate(time.Millisecond), world.City.DB.Len(), world.WiGLE.Len())
+
+	if *heatPNG != "" {
+		f, err := os.Create(*heatPNG)
+		if err != nil {
+			return err
+		}
+		err = world.Heat.RenderPNG(f, 4)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote heat map to %s\n\n", *heatPNG)
+	}
+
+	opts := experiments.Options{
+		SlotDuration: time.Duration(*slotMinutes) * time.Minute,
+		ArrivalScale: *scale,
+	}
+
+	collected := make(map[string]any)
+
+	type job struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	jobs := []job{
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(world, opts) }},
+		{"figure1", func() (fmt.Stringer, error) { return experiments.Figure1(world, opts) }},
+		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(world, opts) }},
+		{"figure2", func() (fmt.Stringer, error) { return experiments.Figure2(world, opts) }},
+		{"table3", func() (fmt.Stringer, error) { return experiments.Table3(world, opts) }},
+		{"table4", func() (fmt.Stringer, error) { return experiments.Table4(world, opts) }},
+		{"figure4", func() (fmt.Stringer, error) { return experiments.Figure4(world, opts) }},
+		{"extensions", func() (fmt.Stringer, error) { return experiments.Extensions(world, opts) }},
+		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablation(world, opts) }},
+		{"countermeasures", func() (fmt.Stringer, error) { return experiments.Countermeasures(world, opts) }},
+		{"robustness", func() (fmt.Stringer, error) { return experiments.Robustness(world, opts, *replicas) }},
+		{"sensitivity", func() (fmt.Stringer, error) { return experiments.Sensitivity(world, opts) }},
+	}
+	for _, j := range jobs {
+		if !want(j.name) {
+			continue
+		}
+		t0 := time.Now()
+		out, err := j.run()
+		if err != nil {
+			return err
+		}
+		collected[j.name] = out
+		fmt.Println(out)
+		fmt.Printf("(%s in %v)\n\n", j.name, time.Since(t0).Truncate(time.Millisecond))
+	}
+
+	if want("figure5") || want("figure6") {
+		t0 := time.Now()
+		grid, err := experiments.Grid(world, opts)
+		if err != nil {
+			return err
+		}
+		collected["grid"] = grid
+		if want("figure5") {
+			fmt.Println(grid.Figure5())
+		}
+		if want("figure6") {
+			fmt.Println(grid.Figure6())
+		}
+		fmt.Printf("(figure5+6 grid in %v)\n", time.Since(t0).Truncate(time.Millisecond))
+	}
+
+	if *mdPath != "" {
+		in := report.Inputs{Seed: *seed}
+		for _, v := range collected {
+			switch r := v.(type) {
+			case *experiments.Table1Result:
+				in.Table1 = r
+			case *experiments.Table2Result:
+				in.Table2 = r
+			case *experiments.Table3Result:
+				in.Table3 = r
+			case *experiments.Table4Result:
+				in.Table4 = r
+			case *experiments.Figure1Result:
+				in.Figure1 = r
+			case *experiments.Figure2Result:
+				in.Figure2 = r
+			case *experiments.Figure4Result:
+				in.Figure4 = r
+			case *experiments.GridResult:
+				in.Grid = r
+			case *experiments.ExtensionsResult:
+				in.Extensions = r
+			case *experiments.AblationResult:
+				in.Ablation = r
+			case *experiments.CountermeasuresResult:
+				in.Countermeasures = r
+			case *experiments.RobustnessResult:
+				in.Robustness = r
+			case *experiments.SensitivityResult:
+				in.Sensitivity = r
+			}
+		}
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		err = report.Write(f, in)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote markdown report to %s\n", *mdPath)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(collected)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote machine-readable results to %s\n", *jsonPath)
+	}
+	return nil
+}

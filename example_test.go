@@ -1,0 +1,67 @@
+package cityhunter_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cityhunter"
+)
+
+// Example runs the headline experiment: City-Hunter in the canteen over
+// lunch. A short run keeps the example fast; see cmd/experiments for the
+// full-scale harness.
+func Example() {
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := world.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 10*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Attack, "deployed at the", res.Venue)
+	// Output: City-Hunter deployed at the canteen
+}
+
+// ExampleWorld_Run_baselines compares every attacker on the same crowd.
+func ExampleWorld_Run_baselines() {
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kind := range []cityhunter.AttackKind{
+		cityhunter.KARMA, cityhunter.MANA, cityhunter.CityHunter,
+	} {
+		res, err := world.Run(cityhunter.CanteenVenue(), kind,
+			cityhunter.LunchSlot, 5*time.Minute,
+			cityhunter.WithArrivalScale(0.5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Attack)
+	}
+	// Output:
+	// KARMA
+	// MANA
+	// City-Hunter
+}
+
+// ExampleWithDeauth shows the §V-B extension: spoofed deauthentication
+// frames push already-connected phones back into the scanning state.
+func ExampleWithDeauth() {
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := world.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 5*time.Minute,
+		cityhunter.WithArrivalScale(0.5),
+		cityhunter.WithDeauth(0.5 /* fraction preconnected */))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Report.DeauthsSent > 0)
+	// Output: true
+}

@@ -1,0 +1,53 @@
+// Deauth hunting: §V-B observes that phones already associated to a
+// legitimate AP barely probe, hiding them from the attacker — and proposes
+// spoofed deauthentication to force them back into scanning. This example
+// fills the canteen with a crowd where 60 % of phones arrive connected to
+// the venue's AP and compares City-Hunter with the extension off and on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cityhunter"
+)
+
+func main() {
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const preconnected = 0.6
+
+	off, err := world.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 30*time.Minute,
+		cityhunter.WithPreconnected(preconnected))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	on, err := world.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 30*time.Minute,
+		cityhunter.WithDeauth(preconnected))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("crowd: %.0f%% of phones arrive connected to the venue AP\n\n", 100*preconnected)
+	fmt.Printf("extension off: %v\n", off.Tally)
+	fmt.Printf("extension on : %v\n", on.Tally)
+	fmt.Printf("\nspoofed deauthentications sent: %d\n", on.Report.DeauthsSent)
+
+	offV := off.Tally.ConnectedDirect + off.Tally.ConnectedBroadcast
+	onV := on.Tally.ConnectedDirect + on.Tally.ConnectedBroadcast
+	fmt.Printf("victims: %d -> %d", offV, onV)
+	if offV > 0 {
+		fmt.Printf(" (%.1f×)", float64(onV)/float64(offV))
+	}
+	fmt.Println()
+	fmt.Println("\nConnected phones stay silent until the spoofed deauth (forged from the")
+	fmt.Println("legitimate AP's BSSID, learnt from its beacons) knocks them back into")
+	fmt.Println("the scanning state City-Hunter preys on.")
+}

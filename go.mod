@@ -1,0 +1,3 @@
+module cityhunter
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package arc implements the Adaptive Replacement Cache of Megiddo & Modha
+// (FAST '03) — the algorithm whose recency/frequency balancing inspired
+// City-Hunter's adaptive Popularity/Freshness buffers (paper §IV-C).
+//
+// It is included both as a faithful substrate (the paper cites it as the
+// design source) and for the ablation benchmark that contrasts the paper's
+// ±1 adjustment rule with ARC's proportional adaptation.
+package arc
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Cache is a fixed-capacity ARC cache over string keys.
+//
+// Internally it keeps the four classic lists:
+//
+//	T1 — resident pages seen exactly once recently (recency)
+//	T2 — resident pages seen at least twice (frequency)
+//	B1 — ghost entries recently evicted from T1
+//	B2 — ghost entries recently evicted from T2
+//
+// and the adaptation target p: the desired size of T1. Hits in B1 grow p
+// (favouring recency), hits in B2 shrink it (favouring frequency).
+type Cache struct {
+	capacity int
+	p        int
+
+	t1, t2, b1, b2 *list.List
+	// where maps a key to its list and element.
+	where map[string]*locator
+
+	hits, misses int
+}
+
+type listID int
+
+const (
+	inT1 listID = iota + 1
+	inT2
+	inB1
+	inB2
+)
+
+type locator struct {
+	id   listID
+	elem *list.Element
+}
+
+// New returns an ARC cache holding at most capacity keys.
+func New(capacity int) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("arc: capacity %d must be positive", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		t1:       list.New(),
+		t2:       list.New(),
+		b1:       list.New(),
+		b2:       list.New(),
+		where:    make(map[string]*locator, 2*capacity),
+	}, nil
+}
+
+// Len returns the number of resident keys (|T1| + |T2|).
+func (c *Cache) Len() int { return c.t1.Len() + c.t2.Len() }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Target returns the current adaptation target p (desired |T1|).
+func (c *Cache) Target() int { return c.p }
+
+// Stats returns the hit and miss counts since construction.
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Contains reports whether key is resident, without touching any state.
+func (c *Cache) Contains(key string) bool {
+	loc, ok := c.where[key]
+	return ok && (loc.id == inT1 || loc.id == inT2)
+}
+
+// Access requests key and returns true on a cache hit. On a miss the key is
+// admitted, possibly evicting another resident key into a ghost list.
+func (c *Cache) Access(key string) bool {
+	loc, ok := c.where[key]
+	if ok {
+		switch loc.id {
+		case inT1, inT2:
+			// Case I: hit — promote to MRU of T2.
+			c.hits++
+			c.moveTo(key, loc, inT2)
+			return true
+		case inB1:
+			// Case II: ghost hit in B1 — recency is winning; grow p.
+			c.misses++
+			delta := 1
+			if c.b1.Len() > 0 && c.b2.Len() > c.b1.Len() {
+				delta = c.b2.Len() / c.b1.Len()
+			}
+			c.p = min(c.p+delta, c.capacity)
+			c.replace(loc.id)
+			c.moveTo(key, loc, inT2)
+			return false
+		case inB2:
+			// Case III: ghost hit in B2 — frequency is winning; shrink p.
+			c.misses++
+			delta := 1
+			if c.b2.Len() > 0 && c.b1.Len() > c.b2.Len() {
+				delta = c.b1.Len() / c.b2.Len()
+			}
+			c.p = max(c.p-delta, 0)
+			c.replace(loc.id)
+			c.moveTo(key, loc, inT2)
+			return false
+		}
+	}
+	// Case IV: brand-new key.
+	c.misses++
+	l1 := c.t1.Len() + c.b1.Len()
+	switch {
+	case l1 == c.capacity:
+		if c.t1.Len() < c.capacity {
+			c.dropLRU(c.b1)
+			c.replace(0)
+		} else {
+			c.dropLRU(c.t1)
+		}
+	case l1 < c.capacity:
+		total := c.t1.Len() + c.t2.Len() + c.b1.Len() + c.b2.Len()
+		if total >= c.capacity {
+			if total == 2*c.capacity {
+				c.dropLRU(c.b2)
+			}
+			c.replace(0)
+		}
+	}
+	c.insert(key, inT1)
+	return false
+}
+
+// replace evicts the LRU of T1 or T2 into its ghost list, following the
+// adaptation target. whichGhost is the ghost list of the key being served
+// (inB2 biases the choice per the original algorithm), or 0.
+func (c *Cache) replace(whichGhost listID) {
+	if c.t1.Len() > 0 &&
+		(c.t1.Len() > c.p || (whichGhost == inB2 && c.t1.Len() == c.p)) {
+		c.demote(c.t1, inB1)
+	} else if c.t2.Len() > 0 {
+		c.demote(c.t2, inB2)
+	} else if c.t1.Len() > 0 {
+		c.demote(c.t1, inB1)
+	}
+}
+
+// demote moves the LRU of src into the MRU position of the ghost list.
+func (c *Cache) demote(src *list.List, ghost listID) {
+	back := src.Back()
+	key := back.Value.(string)
+	src.Remove(back)
+	c.insert(key, ghost)
+}
+
+// dropLRU removes the LRU element of l entirely.
+func (c *Cache) dropLRU(l *list.List) {
+	back := l.Back()
+	if back == nil {
+		return
+	}
+	delete(c.where, back.Value.(string))
+	l.Remove(back)
+}
+
+func (c *Cache) listFor(id listID) *list.List {
+	switch id {
+	case inT1:
+		return c.t1
+	case inT2:
+		return c.t2
+	case inB1:
+		return c.b1
+	default:
+		return c.b2
+	}
+}
+
+func (c *Cache) insert(key string, id listID) {
+	elem := c.listFor(id).PushFront(key)
+	c.where[key] = &locator{id: id, elem: elem}
+}
+
+func (c *Cache) moveTo(key string, loc *locator, id listID) {
+	c.listFor(loc.id).Remove(loc.elem)
+	loc.elem = c.listFor(id).PushFront(key)
+	loc.id = id
+}
+
+// ResidentKeys returns the resident keys, T2 MRU-first then T1 MRU-first.
+func (c *Cache) ResidentKeys() []string {
+	out := make([]string, 0, c.Len())
+	for e := c.t2.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(string))
+	}
+	for e := c.t1.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(string))
+	}
+	return out
+}
+
+// sizes returns the four list lengths, for invariant checks in tests.
+func (c *Cache) sizes() (t1, t2, b1, b2 int) {
+	return c.t1.Len(), c.t2.Len(), c.b1.Len(), c.b2.Len()
+}

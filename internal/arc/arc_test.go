@@ -1,0 +1,234 @@
+package arc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mustCache(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	c, err := New(capacity)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustCache(t, 4)
+	if c.Access("a") {
+		t.Error("first access was a hit")
+	}
+	if !c.Access("a") {
+		t.Error("second access missed")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestContainsDoesNotMutate(t *testing.T) {
+	c := mustCache(t, 2)
+	c.Access("a")
+	if !c.Contains("a") {
+		t.Error("Contains(a) = false")
+	}
+	if c.Contains("zz") {
+		t.Error("Contains(zz) = true")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Error("Contains mutated stats")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := mustCache(t, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Access(fmt.Sprintf("k%d", rng.Intn(50)))
+		if c.Len() > c.Capacity() {
+			t.Fatalf("resident %d > capacity %d at step %d", c.Len(), c.Capacity(), i)
+		}
+		t1, t2, b1, b2 := c.sizes()
+		if t1+b1 > c.Capacity() {
+			t.Fatalf("|T1|+|B1| = %d > c", t1+b1)
+		}
+		if t1+t2+b1+b2 > 2*c.Capacity() {
+			t.Fatalf("total directory %d > 2c", t1+t2+b1+b2)
+		}
+		if p := c.Target(); p < 0 || p > c.Capacity() {
+			t.Fatalf("p = %d outside [0, c]", p)
+		}
+	}
+}
+
+func TestEvictionToGhostAndPromotion(t *testing.T) {
+	c := mustCache(t, 4)
+	c.Access("a")
+	c.Access("a") // a → T2
+	c.Access("b")
+	c.Access("c")
+	c.Access("d") // cache now full: T1={d,c,b}, T2={a}
+	c.Access("e") // replace() demotes the T1 LRU (b) into B1
+	if c.Contains("b") {
+		t.Error("b still resident after demotion")
+	}
+	// Re-access the ghost: a miss, but it re-admits into T2 and adapts.
+	if c.Access("b") {
+		t.Error("ghost access counted as hit")
+	}
+	if !c.Contains("b") {
+		t.Error("ghost re-access did not re-admit key")
+	}
+	if c.Target() == 0 {
+		t.Error("B1 ghost hit did not grow target p")
+	}
+}
+
+func TestFrequencyProtection(t *testing.T) {
+	// Keys accessed twice live in T2 and survive a scan of one-shot keys.
+	c := mustCache(t, 4)
+	c.Access("hot1")
+	c.Access("hot1")
+	c.Access("hot2")
+	c.Access("hot2")
+	for i := 0; i < 100; i++ {
+		c.Access(fmt.Sprintf("scan%d", i))
+	}
+	if !c.Contains("hot1") || !c.Contains("hot2") {
+		t.Error("scan evicted frequent keys; ARC should protect T2")
+	}
+}
+
+func TestLRUWithinT1(t *testing.T) {
+	c := mustCache(t, 3)
+	c.Access("a")
+	c.Access("b")
+	c.Access("c")
+	c.Access("d") // a is LRU, must go
+	if c.Contains("a") {
+		t.Error("LRU not evicted")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if !c.Contains(k) {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestResidentKeys(t *testing.T) {
+	c := mustCache(t, 4)
+	c.Access("a")
+	c.Access("b")
+	c.Access("a") // a → T2
+	keys := c.ResidentKeys()
+	if len(keys) != 2 {
+		t.Fatalf("ResidentKeys = %v", keys)
+	}
+	if keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("order = %v, want [a b] (T2 first)", keys)
+	}
+}
+
+func TestAdaptationMovesBothWays(t *testing.T) {
+	c := mustCache(t, 8)
+	rng := rand.New(rand.NewSource(2))
+	grew, shrank := false, false
+	prev := c.Target()
+	for i := 0; i < 20000; i++ {
+		var k string
+		if rng.Intn(3) == 0 {
+			k = fmt.Sprintf("hot%d", rng.Intn(10))
+		} else {
+			k = fmt.Sprintf("cold%d", rng.Intn(300))
+		}
+		c.Access(k)
+		if c.Target() > prev {
+			grew = true
+		}
+		if c.Target() < prev {
+			shrank = true
+		}
+		prev = c.Target()
+	}
+	if !grew {
+		t.Error("target p never grew (no B1 adaptation observed)")
+	}
+	if !shrank {
+		t.Error("target p never shrank (no B2 adaptation observed)")
+	}
+}
+
+func TestScanResistanceBeatsNaive(t *testing.T) {
+	// A classic ARC win: loop over a hot set with an interleaved scan.
+	c := mustCache(t, 10)
+	hot := make([]string, 5)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot%d", i)
+	}
+	// Warm the hot set into T2.
+	for round := 0; round < 2; round++ {
+		for _, k := range hot {
+			c.Access(k)
+		}
+	}
+	h0, _ := c.Stats()
+	scans := 0
+	for i := 0; i < 500; i++ {
+		c.Access(fmt.Sprintf("scan%d", i))
+		scans++
+		if i%5 == 0 {
+			for _, k := range hot {
+				c.Access(k)
+			}
+		}
+	}
+	h1, _ := c.Stats()
+	hotAccesses := (500/5 + 1) * len(hot)
+	hitRate := float64(h1-h0) / float64(hotAccesses+scans)
+	if hitRate < 0.3 {
+		t.Errorf("hit rate %.2f under scan; ARC should keep the hot set", hitRate)
+	}
+	for _, k := range hot {
+		if !c.Contains(k) {
+			t.Errorf("hot key %s lost to scan", k)
+		}
+	}
+}
+
+func TestGhostDirectoryBounded(t *testing.T) {
+	c := mustCache(t, 5)
+	for i := 0; i < 1000; i++ {
+		c.Access(fmt.Sprintf("k%d", i))
+	}
+	t1, t2, b1, b2 := c.sizes()
+	if t1+t2+b1+b2 > 2*c.Capacity() {
+		t.Errorf("directory size %d exceeds 2c", t1+t2+b1+b2)
+	}
+}
+
+func TestSingleKeyWorkload(t *testing.T) {
+	c := mustCache(t, 1)
+	c.Access("only")
+	for i := 0; i < 10; i++ {
+		if !c.Access("only") {
+			t.Fatal("resident single key missed")
+		}
+	}
+	c.Access("other")
+	if c.Contains("only") && c.Contains("other") {
+		t.Error("two residents in capacity-1 cache")
+	}
+}

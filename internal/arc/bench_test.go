@@ -1,0 +1,38 @@
+package arc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAccessZipfMix(b *testing.B) {
+	c, err := New(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 4096)
+	keys := make([]string, 4097)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(keys[zipf.Uint64()])
+	}
+}
+
+func BenchmarkAccessAllHits(b *testing.B) {
+	c, err := New(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access("hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access("hot")
+	}
+}

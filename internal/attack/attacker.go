@@ -1,0 +1,418 @@
+// Package attack implements the evil-twin attacker station and the two
+// baseline strategies the paper compares against: KARMA (answer directed
+// probes only) and MANA (additionally harvest disclosed SSIDs and replay
+// them to broadcast probes).
+//
+// The attacker is split into a reusable base station — radio behaviour,
+// handshake completion, victim accounting, the optional deauthentication
+// extension — and a Strategy that decides which SSIDs to advertise to a
+// broadcast probe. City-Hunter (internal/core) plugs into the same base.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/sim"
+)
+
+// Strategy decides how an attacker uses SSID knowledge.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// HarvestDirect is called for every SSID disclosed in a directed
+	// probe, with the prober's MAC.
+	HarvestDirect(now time.Duration, sa ieee80211.MAC, ssid string)
+	// BroadcastReply returns the SSIDs (at most limit) to advertise to a
+	// broadcast probe from sa.
+	BroadcastReply(now time.Duration, sa ieee80211.MAC, limit int) []string
+	// RecordHit is called when victim completes association via ssid.
+	RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
+}
+
+// Knower is an optional Strategy extension: strategies that can say
+// whether an SSID is already in their database implement it, enabling the
+// cautious-mirror mode below.
+type Knower interface {
+	// Knows reports whether ssid is already in the strategy's database.
+	Knows(ssid string) bool
+}
+
+// DirectReplier is an optional Strategy extension: strategies that also
+// volunteer additional SSIDs when answering a *directed* probe (beyond the
+// KARMA-style mirror the base station already sends) implement it.
+// hostapd-mana's "loud" mode behaves this way: any probe, directed or not,
+// is answered with the whole database.
+type DirectReplier interface {
+	// DirectReply returns extra SSIDs (at most limit) to advertise to a
+	// directed probe for probed from sa.
+	DirectReply(now time.Duration, sa ieee80211.MAC, probed string, limit int) []string
+}
+
+// Victim is one captured client.
+type Victim struct {
+	// MAC identifies the phone.
+	MAC ieee80211.MAC
+	// SSID is the network name that lured it.
+	SSID string
+	// At is the association completion time.
+	At time.Duration
+	// DirectProber records whether the phone had disclosed PNL entries
+	// in directed probes — the paper's client classification.
+	DirectProber bool
+}
+
+// DeauthConfig controls the §V-B deauthentication extension: the attacker
+// learns legitimate APs from their beacons and periodically broadcasts
+// spoofed deauthentication frames so that already-connected phones start
+// scanning again.
+type DeauthConfig struct {
+	// Enabled turns the extension on.
+	Enabled bool
+	// Interval is the spoofed-deauth period per known AP.
+	Interval time.Duration
+}
+
+// Config describes the attacker station.
+type Config struct {
+	// MAC is the attacker's BSSID.
+	MAC ieee80211.MAC
+	// Pos is the fixed deployment position.
+	Pos geo.Point
+	// Channel advertised in probe responses.
+	Channel uint8
+	// MaxBroadcastReplies caps the response batch per broadcast probe;
+	// zero selects the protocol limit of 40.
+	MaxBroadcastReplies int
+	// RespondToDirect enables KARMA-style mirroring of directed probes.
+	// All three attackers in the paper do this.
+	RespondToDirect bool
+	// CautiousMirror restricts mirroring to SSIDs the strategy has seen
+	// before (requires the strategy to implement Knower). It is the
+	// attacker's counter-move against canary probing: a probe for a
+	// never-seen SSID goes unanswered, so the canary draws no response —
+	// at the cost of the first-sighting direct hits an eager mirror gets.
+	CautiousMirror bool
+	// Beacons, when non-empty, makes the station cycle through the list
+	// broadcasting one forged open-network beacon per BeaconEvery — the
+	// wifiphisher "known beacons" technique, which lures passively
+	// scanning phones without ever answering a probe.
+	Beacons []string
+	// BeaconEvery is the beacon pacing; zero selects 20 ms.
+	BeaconEvery time.Duration
+	// Deauth configures the deauthentication extension.
+	Deauth DeauthConfig
+}
+
+// clientInfo tracks what the attacker knows about one prober.
+type clientInfo struct {
+	directProber bool
+	connected    bool
+}
+
+// Attacker is the evil-twin base station.
+type Attacker struct {
+	cfg      Config
+	engine   *sim.Engine
+	medium   *sim.Medium
+	strategy Strategy
+
+	seq     uint16
+	clients map[ieee80211.MAC]*clientInfo
+	// victims in capture order.
+	victims []Victim
+
+	// knownAPs are BSSIDs learnt from beacons, in discovery order, for
+	// the deauth extension.
+	knownAPs   []ieee80211.MAC
+	knownAPSet map[ieee80211.MAC]bool
+	stopped    bool
+
+	// Counters.
+	directProbesHeard    int
+	broadcastProbesHeard int
+	deauthsSent          int
+	beaconsSent          int
+}
+
+// New builds an attacker with the given strategy.
+func New(engine *sim.Engine, medium *sim.Medium, strategy Strategy, cfg Config) (*Attacker, error) {
+	if strategy == nil {
+		return nil, fmt.Errorf("attack: nil strategy")
+	}
+	if cfg.MAC == (ieee80211.MAC{}) {
+		return nil, fmt.Errorf("attack: zero MAC")
+	}
+	if cfg.MaxBroadcastReplies <= 0 {
+		cfg.MaxBroadcastReplies = ieee80211.MaxResponsesPerScan
+	}
+	if cfg.Deauth.Enabled && cfg.Deauth.Interval <= 0 {
+		cfg.Deauth.Interval = 5 * time.Second
+	}
+	if len(cfg.Beacons) > 0 && cfg.BeaconEvery <= 0 {
+		cfg.BeaconEvery = 20 * time.Millisecond
+	}
+	return &Attacker{
+		cfg:        cfg,
+		engine:     engine,
+		medium:     medium,
+		strategy:   strategy,
+		clients:    make(map[ieee80211.MAC]*clientInfo),
+		knownAPSet: make(map[ieee80211.MAC]bool),
+	}, nil
+}
+
+// Addr implements sim.Station.
+func (a *Attacker) Addr() ieee80211.MAC { return a.cfg.MAC }
+
+// Pos implements sim.Station.
+func (a *Attacker) Pos() geo.Point { return a.cfg.Pos }
+
+// CurrentChannel implements sim.ChannelTuner: the attacker camps on its
+// configured channel (0 = channel-agnostic, useful in unit tests).
+func (a *Attacker) CurrentChannel() uint8 { return a.cfg.Channel }
+
+// Strategy returns the plugged-in strategy.
+func (a *Attacker) Strategy() Strategy { return a.strategy }
+
+// Start attaches the attacker to the medium and arms the deauth loop when
+// enabled.
+func (a *Attacker) Start() error {
+	if err := a.medium.Attach(a); err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	if a.cfg.Deauth.Enabled {
+		a.scheduleDeauthSweep()
+	}
+	if len(a.cfg.Beacons) > 0 {
+		a.scheduleBeacon(0)
+	}
+	return nil
+}
+
+// scheduleBeacon transmits the idx-th known beacon and re-arms for the
+// next one, cycling the list.
+func (a *Attacker) scheduleBeacon(idx int) {
+	a.engine.Schedule(a.cfg.BeaconEvery, func() {
+		if a.stopped {
+			return
+		}
+		a.beaconsSent++
+		a.medium.Transmit(a.frame(ieee80211.Frame{
+			Subtype:          ieee80211.SubtypeBeacon,
+			DA:               ieee80211.BroadcastMAC,
+			SSID:             a.cfg.Beacons[idx%len(a.cfg.Beacons)],
+			Capability:       ieee80211.CapESS,
+			Channel:          a.cfg.Channel,
+			BeaconIntervalTU: 100,
+		}))
+		a.scheduleBeacon(idx + 1)
+	})
+}
+
+// Stop halts periodic activity (the deauth loop). The station stays
+// attached so late handshakes still complete.
+func (a *Attacker) Stop() { a.stopped = true }
+
+// Receive implements sim.Station.
+func (a *Attacker) Receive(f *ieee80211.Frame) {
+	switch f.Subtype {
+	case ieee80211.SubtypeProbeRequest:
+		a.onProbe(f)
+	case ieee80211.SubtypeAuth:
+		a.onAuth(f)
+	case ieee80211.SubtypeAssocRequest:
+		a.onAssocRequest(f)
+	case ieee80211.SubtypeBeacon:
+		a.onBeacon(f)
+	}
+}
+
+func (a *Attacker) client(mac ieee80211.MAC) *clientInfo {
+	ci, ok := a.clients[mac]
+	if !ok {
+		ci = &clientInfo{}
+		a.clients[mac] = ci
+	}
+	return ci
+}
+
+func (a *Attacker) onProbe(f *ieee80211.Frame) {
+	now := a.engine.Now()
+	ci := a.client(f.SA)
+	if f.IsDirectedProbe() {
+		a.directProbesHeard++
+		ci.directProber = true
+		known := false
+		if k, ok := a.strategy.(Knower); ok {
+			known = k.Knows(f.SSID)
+		}
+		a.strategy.HarvestDirect(now, f.SA, f.SSID)
+		if a.cfg.RespondToDirect && (!a.cfg.CautiousMirror || known) {
+			a.respond(f.SA, f.SSID)
+		}
+		if dr, ok := a.strategy.(DirectReplier); ok {
+			for _, ssid := range dr.DirectReply(now, f.SA, f.SSID, a.cfg.MaxBroadcastReplies-1) {
+				a.respond(f.SA, ssid)
+			}
+		}
+		return
+	}
+	a.broadcastProbesHeard++
+	for _, ssid := range a.strategy.BroadcastReply(now, f.SA, a.cfg.MaxBroadcastReplies) {
+		a.respond(f.SA, ssid)
+	}
+}
+
+// respond sends one forged open-network probe response.
+func (a *Attacker) respond(da ieee80211.MAC, ssid string) {
+	a.medium.Transmit(a.frame(ieee80211.Frame{
+		Subtype:          ieee80211.SubtypeProbeResponse,
+		DA:               da,
+		SSID:             ssid,
+		Capability:       ieee80211.CapESS, // never privacy: the twin must be open
+		Channel:          a.cfg.Channel,
+		BeaconIntervalTU: 100,
+	}))
+}
+
+func (a *Attacker) onAuth(f *ieee80211.Frame) {
+	if f.DA != a.cfg.MAC || f.AuthSeq != 1 {
+		return
+	}
+	a.medium.Transmit(a.frame(ieee80211.Frame{
+		Subtype:       ieee80211.SubtypeAuth,
+		DA:            f.SA,
+		AuthAlgorithm: ieee80211.AuthOpenSystem,
+		AuthSeq:       2,
+		Status:        ieee80211.StatusSuccess,
+	}))
+}
+
+func (a *Attacker) onAssocRequest(f *ieee80211.Frame) {
+	if f.DA != a.cfg.MAC {
+		return
+	}
+	a.medium.Transmit(a.frame(ieee80211.Frame{
+		Subtype:       ieee80211.SubtypeAssocResponse,
+		DA:            f.SA,
+		Capability:    ieee80211.CapESS,
+		Status:        ieee80211.StatusSuccess,
+		AssociationID: uint16(len(a.victims)+1) & 0x3fff,
+	}))
+	ci := a.client(f.SA)
+	if ci.connected {
+		return // duplicate association (e.g. after deauth) counted once
+	}
+	ci.connected = true
+	now := a.engine.Now()
+	a.victims = append(a.victims, Victim{
+		MAC:          f.SA,
+		SSID:         f.SSID,
+		At:           now,
+		DirectProber: ci.directProber,
+	})
+	a.strategy.RecordHit(now, f.SA, f.SSID)
+}
+
+func (a *Attacker) onBeacon(f *ieee80211.Frame) {
+	if f.BSSID == a.cfg.MAC || a.knownAPSet[f.BSSID] {
+		return
+	}
+	a.knownAPSet[f.BSSID] = true
+	a.knownAPs = append(a.knownAPs, f.BSSID)
+}
+
+// scheduleDeauthSweep broadcasts one spoofed deauthentication per known AP,
+// then re-arms.
+func (a *Attacker) scheduleDeauthSweep() {
+	a.engine.Schedule(a.cfg.Deauth.Interval, func() {
+		if a.stopped {
+			return
+		}
+		for _, ap := range a.knownAPs {
+			a.deauthsSent++
+			a.medium.TransmitFrom(a.cfg.MAC, &ieee80211.Frame{
+				Subtype: ieee80211.SubtypeDeauth,
+				DA:      ieee80211.BroadcastMAC,
+				SA:      ap,
+				BSSID:   ap,
+				Reason:  ieee80211.ReasonPrevAuthExpired,
+			})
+		}
+		a.scheduleDeauthSweep()
+	})
+}
+
+func (a *Attacker) frame(f ieee80211.Frame) *ieee80211.Frame {
+	f.SA = a.cfg.MAC
+	f.BSSID = a.cfg.MAC
+	a.seq = (a.seq + 1) & 0x0fff
+	f.Seq = a.seq
+	return &f
+}
+
+// Victims returns the captured clients in capture order.
+func (a *Attacker) Victims() []Victim {
+	out := make([]Victim, len(a.victims))
+	copy(out, a.victims)
+	return out
+}
+
+// Report summarises the deployment the way the paper's tables do.
+type Report struct {
+	// Strategy names the attack.
+	Strategy string
+	// TotalClients is the number of distinct probing phones heard.
+	TotalClients int
+	// DirectClients / BroadcastClients split them by probing style.
+	DirectClients    int
+	BroadcastClients int
+	// ConnectedDirect / ConnectedBroadcast split the victims the same way.
+	ConnectedDirect    int
+	ConnectedBroadcast int
+	// DeauthsSent counts spoofed deauthentication frames.
+	DeauthsSent int
+	// BeaconsSent counts forged known beacons.
+	BeaconsSent int
+}
+
+// HitRate returns h: victims over clients heard.
+func (r Report) HitRate() float64 {
+	if r.TotalClients == 0 {
+		return 0
+	}
+	return float64(r.ConnectedDirect+r.ConnectedBroadcast) / float64(r.TotalClients)
+}
+
+// BroadcastHitRate returns h_b: broadcast-only victims over broadcast-only
+// clients.
+func (r Report) BroadcastHitRate() float64 {
+	if r.BroadcastClients == 0 {
+		return 0
+	}
+	return float64(r.ConnectedBroadcast) / float64(r.BroadcastClients)
+}
+
+// Report summarises the attacker's observations so far.
+func (a *Attacker) Report() Report {
+	r := Report{Strategy: a.strategy.Name(), DeauthsSent: a.deauthsSent, BeaconsSent: a.beaconsSent}
+	for _, ci := range a.clients {
+		r.TotalClients++
+		if ci.directProber {
+			r.DirectClients++
+		} else {
+			r.BroadcastClients++
+		}
+	}
+	for _, v := range a.victims {
+		if v.DirectProber {
+			r.ConnectedDirect++
+		} else {
+			r.ConnectedBroadcast++
+		}
+	}
+	return r
+}

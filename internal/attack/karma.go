@@ -1,0 +1,30 @@
+package attack
+
+import (
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// Karma is the KARMA attack strategy (Dai Zovi & Macaulay, 2005): reply to
+// directed probes by mimicking the probed SSID, ignore broadcast probes.
+// Against modern phones that only send broadcast probes its broadcast hit
+// rate is zero by construction, which is the paper's Table I baseline.
+type Karma struct{}
+
+var _ Strategy = (*Karma)(nil)
+
+// NewKarma returns the KARMA strategy.
+func NewKarma() *Karma { return &Karma{} }
+
+// Name implements Strategy.
+func (*Karma) Name() string { return "KARMA" }
+
+// HarvestDirect implements Strategy. KARMA keeps no database.
+func (*Karma) HarvestDirect(time.Duration, ieee80211.MAC, string) {}
+
+// BroadcastReply implements Strategy. KARMA cannot answer broadcast probes.
+func (*Karma) BroadcastReply(time.Duration, ieee80211.MAC, int) []string { return nil }
+
+// RecordHit implements Strategy.
+func (*Karma) RecordHit(time.Duration, ieee80211.MAC, string) {}

@@ -1,0 +1,296 @@
+// Package citygen synthesises the urban environment that the paper's field
+// deployment observed for free: a city full of access points (chain shops,
+// hotspot venues, residential networks), plus a stream of geotagged photos
+// whose density tracks crowd density. The output feeds the WiGLE-substitute
+// database (internal/wigle), the heat map (internal/heatmap) and the PNL
+// generator (internal/pnl).
+//
+// The default configuration is shaped after the paper's Hong Kong examples:
+// a "7-Eleven Free Wifi"-style chain with ~900 city-wide APs, an airport
+// SSID with ~230 APs concentrated in one very crowded venue, a
+// "Free Public WiFi" programme whose ~400 APs sit in crowded locations, and
+// thousands of secured residential networks that are useless to the
+// attacker.
+package citygen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/wigle"
+)
+
+// ChainSpec describes a brand whose shops are spread across the city.
+type ChainSpec struct {
+	// SSID all the chain's APs share.
+	SSID string
+	// Stores is the number of APs.
+	Stores int
+	// Open marks the network unencrypted.
+	Open bool
+	// NearCrowds biases store placement towards hotspot venues instead of
+	// uniform coverage. The paper's "Free Public WiFi" has this shape:
+	// only ~400 APs but "mostly deployed in various crowded locations".
+	NearCrowds bool
+}
+
+// HotspotSpec describes an important functional area: airport, railway
+// station, shopping mall.
+type HotspotSpec struct {
+	// Name identifies the venue.
+	Name string
+	// SSID is the venue's own Wi-Fi network ("" for venues without one).
+	SSID string
+	// Center and Radius bound the venue area.
+	Center geo.Point
+	Radius float64
+	// APs is the number of APs broadcasting the venue SSID.
+	APs int
+	// Attractiveness is the venue's share of city foot traffic, in
+	// arbitrary units; it drives both photo density and how likely a
+	// random phone has visited (and therefore remembers) the venue SSID.
+	Attractiveness float64
+}
+
+// Config controls city synthesis.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Bounds is the city extent in metres.
+	Bounds geo.Rect
+	// Chains and Hotspots; nil selects the Hong Kong-flavoured defaults.
+	Chains   []ChainSpec
+	Hotspots []HotspotSpec
+	// ResidentialAPs is the number of secured home networks.
+	ResidentialAPs int
+	// CafeAPs is the number of independent small-business APs (each a
+	// unique SSID, 70 % open).
+	CafeAPs int
+	// Photos is the number of geotagged photos to synthesise.
+	Photos int
+	// PhotoBackground is the fraction of photos scattered uniformly
+	// rather than at venues (noise in the crowd proxy).
+	PhotoBackground float64
+}
+
+// DefaultConfig returns the Hong Kong-flavoured configuration used by the
+// experiments: an 8 km × 8 km city with one airport-class venue, two
+// railway stations, two malls and a canteen district.
+func DefaultConfig(seed int64) Config {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(8000, 8000))
+	return Config{
+		Seed:   seed,
+		Bounds: bounds,
+		Chains: []ChainSpec{
+			{SSID: "-Free HKBN Wi-Fi-", Stores: 1200, Open: true},
+			{SSID: "7-Eleven Free Wifi", Stores: 924, Open: true},
+			{SSID: "-Circle K Free Wi-Fi-", Stores: 610, Open: true},
+			{SSID: "CSL", Stores: 540, Open: true},
+			{SSID: "CMCC-WEB", Stores: 470, Open: true},
+			{SSID: "Free Public WiFi", Stores: 400, Open: true, NearCrowds: true},
+			{SSID: "FREE 3Y5 AdWiFi", Stores: 160, Open: true, NearCrowds: true},
+			{SSID: "McDonalds@HK", Stores: 240, Open: true},
+			{SSID: "Starbucks HK", Stores: 170, Open: true},
+			{SSID: "Wiretower-Secure", Stores: 300, Open: false},
+		},
+		Hotspots: []HotspotSpec{
+			{Name: "Airport", SSID: "#HKAirport Free WiFi", Center: geo.Pt(1000, 7000), Radius: 450, APs: 231, Attractiveness: 30},
+			{Name: "Central Station", SSID: "MTR Free Wi-Fi", Center: geo.Pt(4000, 4000), Radius: 300, APs: 120, Attractiveness: 22},
+			{Name: "Kowloon Station", SSID: "KTT-Station-WiFi", Center: geo.Pt(6200, 2400), Radius: 280, APs: 90, Attractiveness: 16},
+			{Name: "iSQUARE Mall", SSID: "iSQUARE Free WiFi", Center: geo.Pt(5200, 5600), Radius: 220, APs: 70, Attractiveness: 18},
+			{Name: "theONE Mall", SSID: "theONE_WiFi", Center: geo.Pt(5400, 5200), Radius: 200, APs: 60, Attractiveness: 14},
+			{Name: "Canteen District", SSID: "PolyU-Canteen-Free", Center: geo.Pt(2600, 2400), Radius: 260, APs: 40, Attractiveness: 10},
+		},
+		ResidentialAPs:  6000,
+		CafeAPs:         900,
+		Photos:          40000,
+		PhotoBackground: 0.25,
+	}
+}
+
+// SparseConfig returns a low-density suburb variant: fewer chains, fewer
+// venues, and a thinner public-Wi-Fi ecosystem. Deployed there,
+// City-Hunter's offline seeding has less to work with — a dimension the
+// paper's dense-Hong-Kong evaluation could not explore.
+func SparseConfig(seed int64) Config {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(8000, 8000))
+	return Config{
+		Seed:   seed,
+		Bounds: bounds,
+		Chains: []ChainSpec{
+			{SSID: "SuburbNet Free", Stores: 140, Open: true},
+			{SSID: "QuickMart WiFi", Stores: 90, Open: true},
+			{SSID: "Transit Free Wi-Fi", Stores: 60, Open: true, NearCrowds: true},
+			{SSID: "LocalTelco-Secure", Stores: 120, Open: false},
+		},
+		Hotspots: []HotspotSpec{
+			{Name: "Town Mall", SSID: "TownMall Guest", Center: geo.Pt(4000, 4000), Radius: 250, APs: 30, Attractiveness: 12},
+			{Name: "Commuter Station", SSID: "Commuter WiFi", Center: geo.Pt(2500, 5500), Radius: 220, APs: 25, Attractiveness: 10},
+		},
+		ResidentialAPs:  9000,
+		CafeAPs:         250,
+		Photos:          12000,
+		PhotoBackground: 0.45,
+	}
+}
+
+// City is the generated environment.
+type City struct {
+	// Bounds is the city extent.
+	Bounds geo.Rect
+	// DB is the WiGLE-substitute AP database.
+	DB *wigle.DB
+	// Photos are the geotagged photo locations.
+	Photos []geo.Point
+	// Hotspots echoes the venue specs used (defaults filled in).
+	Hotspots []HotspotSpec
+	// Chains echoes the chain specs used.
+	Chains []ChainSpec
+}
+
+// Generate synthesises a city from cfg.
+func Generate(cfg Config) (*City, error) {
+	if cfg.Bounds.Width() <= 0 || cfg.Bounds.Height() <= 0 {
+		return nil, fmt.Errorf("citygen: bounds %v have no area", cfg.Bounds)
+	}
+	if cfg.Photos < 0 || cfg.ResidentialAPs < 0 || cfg.CafeAPs < 0 {
+		return nil, fmt.Errorf("citygen: negative counts in config")
+	}
+	if cfg.PhotoBackground < 0 || cfg.PhotoBackground > 1 {
+		return nil, fmt.Errorf("citygen: photo background fraction %v outside [0,1]", cfg.PhotoBackground)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &City{
+		Bounds:   cfg.Bounds,
+		Hotspots: cfg.Hotspots,
+		Chains:   cfg.Chains,
+	}
+
+	var records []wigle.Record
+	bssid := newBSSIDAllocator()
+
+	// Hotspot venue APs: clustered inside the venue radius.
+	for _, h := range c.Hotspots {
+		for i := 0; i < h.APs; i++ {
+			records = append(records, wigle.Record{
+				SSID:  h.SSID,
+				BSSID: bssid.next(),
+				Pos:   cfg.Bounds.Clamp(jitter(rng, h.Center, h.Radius)),
+				Open:  true,
+				Venue: h.Name,
+			})
+		}
+	}
+
+	// Chain stores: uniform city-wide, or biased to venues for
+	// NearCrowds chains.
+	for _, ch := range c.Chains {
+		for i := 0; i < ch.Stores; i++ {
+			var pos geo.Point
+			if ch.NearCrowds && len(c.Hotspots) > 0 && rng.Float64() < 0.8 {
+				h := c.pickVenue(rng)
+				pos = jitter(rng, h.Center, h.Radius*1.5)
+			} else {
+				pos = uniformPoint(rng, cfg.Bounds)
+			}
+			records = append(records, wigle.Record{
+				SSID:  ch.SSID,
+				BSSID: bssid.next(),
+				Pos:   cfg.Bounds.Clamp(pos),
+				Open:  ch.Open,
+			})
+		}
+	}
+
+	// Residential networks: unique secured SSIDs.
+	for i := 0; i < cfg.ResidentialAPs; i++ {
+		records = append(records, wigle.Record{
+			SSID:  fmt.Sprintf("HOME-%05d", i),
+			BSSID: bssid.next(),
+			Pos:   uniformPoint(rng, cfg.Bounds),
+			Open:  false,
+		})
+	}
+
+	// Independent cafés and small shops: unique SSIDs, mostly open.
+	for i := 0; i < cfg.CafeAPs; i++ {
+		records = append(records, wigle.Record{
+			SSID:  fmt.Sprintf("Cafe-%04d Free WiFi", i),
+			BSSID: bssid.next(),
+			Pos:   uniformPoint(rng, cfg.Bounds),
+			Open:  rng.Float64() < 0.7,
+		})
+	}
+
+	db, err := wigle.New(cfg.Bounds, records)
+	if err != nil {
+		return nil, fmt.Errorf("citygen: build db: %w", err)
+	}
+	c.DB = db
+
+	// Photos: a background fraction is uniform noise; the rest
+	// concentrate at venues proportionally to attractiveness.
+	c.Photos = make([]geo.Point, 0, cfg.Photos)
+	total := totalAttractiveness(c.Hotspots)
+	for i := 0; i < cfg.Photos; i++ {
+		if total == 0 || rng.Float64() < cfg.PhotoBackground {
+			c.Photos = append(c.Photos, uniformPoint(rng, cfg.Bounds))
+			continue
+		}
+		h := c.pickVenue(rng)
+		c.Photos = append(c.Photos, cfg.Bounds.Clamp(jitter(rng, h.Center, h.Radius)))
+	}
+	return c, nil
+}
+
+// pickVenue samples a hotspot proportionally to attractiveness.
+func (c *City) pickVenue(rng *rand.Rand) HotspotSpec {
+	total := totalAttractiveness(c.Hotspots)
+	x := rng.Float64() * total
+	for _, h := range c.Hotspots {
+		if x < h.Attractiveness {
+			return h
+		}
+		x -= h.Attractiveness
+	}
+	return c.Hotspots[len(c.Hotspots)-1]
+}
+
+func totalAttractiveness(hs []HotspotSpec) float64 {
+	t := 0.0
+	for _, h := range hs {
+		t += h.Attractiveness
+	}
+	return t
+}
+
+// jitter returns a point normally scattered around center with standard
+// deviation radius/2, truncated to 2 radii.
+func jitter(rng *rand.Rand, center geo.Point, radius float64) geo.Point {
+	for {
+		dx := rng.NormFloat64() * radius / 2
+		dy := rng.NormFloat64() * radius / 2
+		if dx*dx+dy*dy <= 4*radius*radius {
+			return center.Add(geo.Pt(dx, dy))
+		}
+	}
+}
+
+func uniformPoint(rng *rand.Rand, b geo.Rect) geo.Point {
+	return geo.Pt(
+		b.Min.X+rng.Float64()*b.Width(),
+		b.Min.Y+rng.Float64()*b.Height(),
+	)
+}
+
+// bssidAllocator hands out unique AP MACs.
+type bssidAllocator struct{ n uint32 }
+
+func newBSSIDAllocator() *bssidAllocator { return &bssidAllocator{} }
+
+func (a *bssidAllocator) next() string {
+	a.n++
+	return fmt.Sprintf("0a:%02x:%02x:%02x:%02x:%02x",
+		byte(a.n>>24), byte(a.n>>16), byte(a.n>>8), byte(a.n), byte(0))
+}

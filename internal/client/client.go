@@ -1,0 +1,550 @@
+// Package client models smartphones: the scan cycle (broadcast and directed
+// probe requests), the probe-response listening window with its ~40-response
+// budget, the open-network auto-join handshake (authentication followed by
+// association), connected-state probe suppression, and reaction to
+// deauthentication.
+//
+// The model matches the behaviour the paper's attack exploits:
+//
+//   - ~85 % of phones send only wildcard (broadcast) probes; the unsafe
+//     minority also direct-probes every non-hidden PNL entry.
+//   - After a probe, a phone waits 10 ms for a first response and keeps
+//     listening at most 10 ms after one arrives, which caps the responses
+//     it can hear from one AP at about 40 per scan.
+//   - A probe response advertising an open network whose SSID is an open
+//     entry in the phone's PNL triggers automatic association.
+//   - Once associated, a phone stops probing until it is deauthenticated.
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/sim"
+)
+
+// State is the client's connection state.
+type State int
+
+// Client states.
+const (
+	// StateIdle means created but not yet started.
+	StateIdle State = iota + 1
+	// StateScanning means probing periodically.
+	StateScanning
+	// StateAssociating means mid-handshake with a responder.
+	StateAssociating
+	// StateConnected means associated (to the attacker or a genuine AP).
+	StateConnected
+	// StateDeparted means the phone left the area and was detached.
+	StateDeparted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateScanning:
+		return "scanning"
+	case StateAssociating:
+		return "associating"
+	case StateConnected:
+		return "connected"
+	case StateDeparted:
+		return "departed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config describes one phone.
+type Config struct {
+	// MAC is the phone's (randomised) probe MAC.
+	MAC ieee80211.MAC
+	// PNL is the phone's preferred network list.
+	PNL pnl.List
+	// DirectProber marks the unsafe minority that discloses PNL entries
+	// in directed probes.
+	DirectProber bool
+	// ScanInterval is the gap between scan cycles while disconnected.
+	// The first scan starts after a uniform random fraction of it.
+	ScanInterval time.Duration
+	// PreconnectedBSSID, when non-zero, starts the phone associated to a
+	// genuine AP with that BSSID: it will not probe until it receives a
+	// deauthentication from that BSSID (the §V-B scenario).
+	PreconnectedBSSID ieee80211.MAC
+	// RescanAfterDeauth is the delay before the first scan after losing
+	// an association.
+	RescanAfterDeauth time.Duration
+	// CanaryProbing arms the client-side evil-twin countermeasure: every
+	// scan also directs a probe at a random nonexistent SSID, and any
+	// responder that mimics it is marked hostile and ignored from then
+	// on. This is the classic KARMA detector; see internal/detect.
+	CanaryProbing bool
+	// RandomizeMAC rotates the probe MAC before every scan, as modern
+	// phones do while unassociated. It defeats the attacker's per-client
+	// untried rotation: every scan looks like a brand-new client, so the
+	// attacker resends its head batch instead of progressing through the
+	// database.
+	RandomizeMAC bool
+	// ScanChannels is the channel sequence visited per scan; nil selects
+	// ieee80211.DefaultScanChannels (1, 6, 11). Each channel gets its own
+	// probe and listening window, as real scanning firmware does.
+	ScanChannels []uint8
+}
+
+// DefaultScanInterval is a typical disconnected-phone scan period (modern
+// OSes scan roughly once a minute with the screen off).
+const DefaultScanInterval = 60 * time.Second
+
+// defaultRescanAfterDeauth is used when Config.RescanAfterDeauth is zero.
+const defaultRescanAfterDeauth = 2 * time.Second
+
+// handshakeTimeout bounds each step of the auth/assoc exchange.
+const handshakeTimeout = 100 * time.Millisecond
+
+// Client is one simulated phone attached to the medium.
+type Client struct {
+	cfg    Config
+	engine *sim.Engine
+	medium *sim.Medium
+	rng    *rand.Rand
+
+	state State
+	pos   geo.Point
+	seq   uint16
+
+	// curChannel is the tuned channel (0 = agnostic, e.g. while
+	// associated to a channel-agnostic test responder).
+	curChannel  uint8
+	scanChanIdx int
+
+	// scanEpoch invalidates stale window/timeout events.
+	scanEpoch int
+	// window state for the current scan.
+	windowOpen     bool
+	firstRespAt    time.Duration
+	responses      []*ieee80211.Frame
+	responsesHeard int
+
+	// association state.
+	peer     ieee80211.MAC
+	joinSSID string
+	hsEpoch  int
+	hsStep   int
+
+	// countermeasure state.
+	canarySSID string
+	hostile    map[ieee80211.MAC]bool
+
+	// Stats exposes what the experiment harness needs.
+	Stats Stats
+}
+
+// Stats are the per-client counters the experiments aggregate.
+type Stats struct {
+	// Scans counts full scan cycles (all channels).
+	Scans int
+	// BroadcastProbes and DirectProbes count probe requests sent (one
+	// broadcast probe per channel per scan).
+	BroadcastProbes int
+	DirectProbes    int
+	// ResponsesHeard counts probe responses accepted within windows.
+	ResponsesHeard int
+	// Connected reports whether the phone ever associated, to whom, via
+	// which SSID, and when.
+	Connected    bool
+	ConnectedTo  ieee80211.MAC
+	ConnectedVia string
+	ConnectedAt  time.Duration
+	// Deauths counts deauthentications received while associated.
+	Deauths int
+	// CanaryDetections counts evil twins unmasked by canary probes.
+	CanaryDetections int
+}
+
+// New builds a client. Start must be called to attach it to the medium.
+func New(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, cfg Config) (*Client, error) {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = DefaultScanInterval
+	}
+	if cfg.RescanAfterDeauth <= 0 {
+		cfg.RescanAfterDeauth = defaultRescanAfterDeauth
+	}
+	if cfg.MAC == (ieee80211.MAC{}) {
+		return nil, fmt.Errorf("client: zero MAC")
+	}
+	return &Client{
+		cfg:    cfg,
+		engine: engine,
+		medium: medium,
+		rng:    rng,
+		state:  StateIdle,
+	}, nil
+}
+
+// Addr implements sim.Station.
+func (c *Client) Addr() ieee80211.MAC { return c.cfg.MAC }
+
+// Pos implements sim.Station.
+func (c *Client) Pos() geo.Point { return c.pos }
+
+// SetPos moves the phone; mobility models call this.
+func (c *Client) SetPos(p geo.Point) { c.pos = p }
+
+// CurrentChannel implements sim.ChannelTuner.
+func (c *Client) CurrentChannel() uint8 { return c.curChannel }
+
+// channels returns the configured scan sequence.
+func (c *Client) channels() []uint8 {
+	if len(c.cfg.ScanChannels) > 0 {
+		return c.cfg.ScanChannels
+	}
+	return ieee80211.DefaultScanChannels
+}
+
+// State returns the current connection state.
+func (c *Client) State() State { return c.state }
+
+// DirectProber reports whether this phone discloses PNL entries.
+func (c *Client) DirectProber() bool { return c.cfg.DirectProber }
+
+// PNL returns the phone's preferred network list.
+func (c *Client) PNL() pnl.List { return c.cfg.PNL }
+
+// Start attaches the phone to the medium and schedules its first scan.
+func (c *Client) Start() error {
+	if c.state != StateIdle {
+		return fmt.Errorf("client %v: Start in state %v", c.Addr(), c.state)
+	}
+	if err := c.medium.Attach(c); err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if c.cfg.PreconnectedBSSID != (ieee80211.MAC{}) {
+		c.state = StateConnected
+		c.peer = c.cfg.PreconnectedBSSID
+		return nil
+	}
+	c.state = StateScanning
+	first := time.Duration(c.rng.Int63n(int64(c.cfg.ScanInterval)))
+	c.scheduleScan(first)
+	return nil
+}
+
+// Depart removes the phone from the medium; all pending events become
+// no-ops.
+func (c *Client) Depart() {
+	if c.state == StateDeparted {
+		return
+	}
+	c.state = StateDeparted
+	c.scanEpoch++
+	c.hsEpoch++
+	c.medium.Detach(c.Addr())
+}
+
+// scheduleScan queues a scan after the given delay. Stale events cancel
+// themselves: every executed scan bumps scanEpoch, so when both a periodic
+// tick and a fast post-deauth rescan are pending, whichever fires first
+// performs the scan and the other becomes a no-op.
+func (c *Client) scheduleScan(after time.Duration) {
+	epoch := c.scanEpoch
+	c.engine.Schedule(after, func() {
+		if epoch != c.scanEpoch || c.state != StateScanning {
+			return
+		}
+		c.scan()
+	})
+}
+
+// scan runs one probe cycle: every channel in the scan sequence gets a
+// probe burst and its own listening window; the collected responses are
+// evaluated once the last channel's window closes, the way real scanning
+// firmware assembles scan results before network selection.
+func (c *Client) scan() {
+	if c.cfg.RandomizeMAC {
+		c.rotateMAC()
+	}
+	c.scanEpoch++
+	c.responses = c.responses[:0]
+	c.responsesHeard = 0
+	c.scanChanIdx = 0
+	c.Stats.Scans++
+	if c.cfg.CanaryProbing {
+		// One canary SSID per scan, probed on every channel; a mimicking
+		// attacker on any channel unmasks itself before its lure batch
+		// is evaluated.
+		c.canarySSID = fmt.Sprintf("canary-%08x", c.rng.Uint32())
+	}
+	c.scheduleNextScanTick()
+	c.scanChannel()
+}
+
+// scanChannel probes and listens on the current channel of the sequence.
+func (c *Client) scanChannel() {
+	epoch := c.scanEpoch
+	c.curChannel = c.channels()[c.scanChanIdx]
+	c.windowOpen = true
+	c.firstRespAt = -1
+
+	if c.cfg.CanaryProbing {
+		c.medium.Transmit(c.frame(ieee80211.Frame{
+			Subtype: ieee80211.SubtypeProbeRequest,
+			DA:      ieee80211.BroadcastMAC,
+			BSSID:   ieee80211.BroadcastMAC,
+			SSID:    c.canarySSID,
+		}))
+	}
+	if c.cfg.DirectProber {
+		for _, ssid := range c.cfg.PNL.Probeable() {
+			c.medium.Transmit(c.frame(ieee80211.Frame{
+				Subtype: ieee80211.SubtypeProbeRequest,
+				DA:      ieee80211.BroadcastMAC,
+				BSSID:   ieee80211.BroadcastMAC,
+				SSID:    ssid,
+			}))
+			c.Stats.DirectProbes++
+		}
+	}
+	// The broadcast probe goes out last; its completion time anchors the
+	// listening window.
+	lastDone := c.medium.Transmit(c.frame(ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeRequest,
+		DA:      ieee80211.BroadcastMAC,
+		BSSID:   ieee80211.BroadcastMAC,
+	}))
+	c.Stats.BroadcastProbes++
+
+	// The channel dwell ends MinChannelTime after the last probe finished
+	// unless a response arrives first; then it ends MaxChannelTime after
+	// the first response.
+	c.engine.At(lastDone+ieee80211.MinChannelTime, func() {
+		if epoch != c.scanEpoch || !c.windowOpen {
+			return
+		}
+		if c.firstRespAt < 0 {
+			c.advanceChannel(epoch)
+		}
+		// Otherwise the extension event closes this channel's window.
+	})
+}
+
+// advanceChannel ends the current channel's window and either hops to the
+// next channel or, after the last one, evaluates the scan results.
+func (c *Client) advanceChannel(epoch int) {
+	if epoch != c.scanEpoch || c.state != StateScanning {
+		return
+	}
+	c.windowOpen = false
+	c.scanChanIdx++
+	if c.scanChanIdx < len(c.channels()) {
+		c.scanChannel()
+		return
+	}
+	c.evaluateScan()
+}
+
+func (c *Client) scheduleNextScanTick() {
+	// Jittered periodic scan: ±20 % around the configured interval.
+	jitter := 0.8 + 0.4*c.rng.Float64()
+	c.scheduleScan(time.Duration(float64(c.cfg.ScanInterval) * jitter))
+}
+
+// rotateMAC re-keys the client under a fresh random MAC, the
+// privacy behaviour of modern unassociated phones. On the (astronomically
+// unlikely) collision with an existing station, the old MAC is kept for
+// this scan.
+func (c *Client) rotateMAC() {
+	fresh := ieee80211.RandomMAC(c.rng)
+	old := c.cfg.MAC
+	c.medium.Detach(old)
+	c.cfg.MAC = fresh
+	if err := c.medium.Attach(c); err != nil {
+		c.cfg.MAC = old
+		// Re-attach under the old identity; this cannot collide because
+		// we just vacated it.
+		if err := c.medium.Attach(c); err != nil {
+			// The medium rejected both identities: the client is
+			// effectively off the air. Leave it detached.
+			c.state = StateDeparted
+		}
+	}
+}
+
+// frame stamps addressing and sequence numbers on a template.
+func (c *Client) frame(f ieee80211.Frame) *ieee80211.Frame {
+	f.SA = c.cfg.MAC
+	c.seq = (c.seq + 1) & 0x0fff
+	f.Seq = c.seq
+	return &f
+}
+
+// Receive implements sim.Station.
+func (c *Client) Receive(f *ieee80211.Frame) {
+	switch f.Subtype {
+	case ieee80211.SubtypeProbeResponse:
+		c.onProbeResponse(f)
+	case ieee80211.SubtypeBeacon:
+		// Passive scanning: beacons heard during a scan window enter the
+		// scan results exactly like probe responses — this is what the
+		// wifiphisher-style "known beacons" attack relies on.
+		c.onProbeResponse(f)
+	case ieee80211.SubtypeAuth:
+		c.onAuth(f)
+	case ieee80211.SubtypeAssocResponse:
+		c.onAssocResponse(f)
+	case ieee80211.SubtypeDeauth:
+		c.onDeauth(f)
+	}
+}
+
+func (c *Client) onProbeResponse(f *ieee80211.Frame) {
+	if f.DA != c.cfg.MAC && !f.DA.IsBroadcast() {
+		return
+	}
+	if c.canarySSID != "" && f.SSID == c.canarySSID && !c.hostile[f.SA] {
+		// Nobody legitimate knows this SSID: the responder is an evil
+		// twin. Ignore it for the rest of this client's stay.
+		if c.hostile == nil {
+			c.hostile = make(map[ieee80211.MAC]bool)
+		}
+		c.hostile[f.SA] = true
+		c.Stats.CanaryDetections++
+		return
+	}
+	if c.hostile[f.SA] {
+		return
+	}
+	if !c.windowOpen || c.state != StateScanning {
+		return
+	}
+	if c.responsesHeard >= ieee80211.MaxResponsesPerScan {
+		return // listening budget exhausted for this scan
+	}
+	c.responsesHeard++
+	c.Stats.ResponsesHeard++
+	if c.firstRespAt < 0 {
+		c.firstRespAt = c.engine.Now()
+		epoch := c.scanEpoch
+		idx := c.scanChanIdx
+		c.engine.Schedule(ieee80211.MaxChannelTime, func() {
+			if epoch == c.scanEpoch && idx == c.scanChanIdx && c.windowOpen {
+				c.advanceChannel(epoch)
+			}
+		})
+	}
+	c.responses = append(c.responses, f)
+}
+
+// evaluateScan inspects every response collected across the scan's
+// channels and begins association with the first one matching an open PNL
+// entry.
+func (c *Client) evaluateScan() {
+	c.windowOpen = false
+	for _, f := range c.responses {
+		if c.hostile[f.SA] {
+			// Unmasked after this response was buffered.
+			continue
+		}
+		if f.Capability.Privacy() {
+			// The twin claims an encrypted network; auto-join would
+			// need credentials the attacker cannot complete.
+			continue
+		}
+		if c.cfg.PNL.OpenSSID(f.SSID) {
+			if f.Channel != 0 {
+				c.curChannel = f.Channel
+			}
+			c.associate(f.SA, f.SSID)
+			return
+		}
+	}
+}
+
+// associate starts the auth/assoc handshake with peer for ssid, tuning to
+// the responder's channel as a real client does before authenticating.
+func (c *Client) associate(peer ieee80211.MAC, ssid string) {
+	c.state = StateAssociating
+	c.peer = peer
+	c.joinSSID = ssid
+	c.hsEpoch++
+	c.hsStep = 1
+	c.medium.Transmit(c.frame(ieee80211.Frame{
+		Subtype:       ieee80211.SubtypeAuth,
+		DA:            peer,
+		BSSID:         peer,
+		AuthAlgorithm: ieee80211.AuthOpenSystem,
+		AuthSeq:       1,
+	}))
+	c.armHandshakeTimeout()
+}
+
+func (c *Client) armHandshakeTimeout() {
+	epoch, step := c.hsEpoch, c.hsStep
+	c.engine.Schedule(handshakeTimeout, func() {
+		if c.hsEpoch == epoch && c.hsStep == step && c.state == StateAssociating {
+			// Handshake stalled; resume scanning.
+			c.state = StateScanning
+			c.scheduleScan(c.cfg.RescanAfterDeauth)
+		}
+	})
+}
+
+func (c *Client) onAuth(f *ieee80211.Frame) {
+	if c.state != StateAssociating || f.SA != c.peer || c.hsStep != 1 {
+		return
+	}
+	if f.Status != ieee80211.StatusSuccess || f.AuthSeq != 2 {
+		c.state = StateScanning
+		c.scheduleScan(c.cfg.RescanAfterDeauth)
+		return
+	}
+	c.hsStep = 2
+	c.medium.Transmit(c.frame(ieee80211.Frame{
+		Subtype:    ieee80211.SubtypeAssocRequest,
+		DA:         c.peer,
+		BSSID:      c.peer,
+		SSID:       c.joinSSID,
+		Capability: ieee80211.CapESS,
+	}))
+	c.armHandshakeTimeout()
+}
+
+func (c *Client) onAssocResponse(f *ieee80211.Frame) {
+	if c.state != StateAssociating || f.SA != c.peer || c.hsStep != 2 {
+		return
+	}
+	if f.Status != ieee80211.StatusSuccess {
+		c.state = StateScanning
+		c.scheduleScan(c.cfg.RescanAfterDeauth)
+		return
+	}
+	c.hsStep = 3
+	c.state = StateConnected
+	c.Stats.Connected = true
+	c.Stats.ConnectedTo = c.peer
+	c.Stats.ConnectedVia = c.joinSSID
+	c.Stats.ConnectedAt = c.engine.Now()
+}
+
+func (c *Client) onDeauth(f *ieee80211.Frame) {
+	if c.state != StateConnected {
+		return
+	}
+	if f.SA != c.peer && f.BSSID != c.peer {
+		return
+	}
+	if f.DA != c.cfg.MAC && !f.DA.IsBroadcast() {
+		return
+	}
+	c.Stats.Deauths++
+	c.state = StateScanning
+	c.peer = ieee80211.MAC{}
+	c.hsEpoch++
+	c.scheduleScan(c.cfg.RescanAfterDeauth)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// benchEngine builds a full-mode engine with a large harvested database.
+func benchEngine(b *testing.B, entries int) *Engine {
+	b.Helper()
+	e, err := NewEngine(DefaultConfig(ModeFull), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ieee80211.MAC{0x02, 9, 9, 9, 9, 9}
+	for i := 0; i < entries; i++ {
+		e.HarvestDirect(0, src, fmt.Sprintf("Net-%05d", i))
+	}
+	return e
+}
+
+func BenchmarkBroadcastReplyFreshClient(b *testing.B) {
+	e := benchEngine(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mac := ieee80211.MAC{0x02, 0, 0, byte(i >> 16), byte(i >> 8), byte(i)}
+		if got := e.BroadcastReply(0, mac, 40); len(got) != 40 {
+			b.Fatalf("batch = %d", len(got))
+		}
+	}
+}
+
+func BenchmarkBroadcastReplyRotatingClient(b *testing.B) {
+	e := benchEngine(b, 2000)
+	mac := ieee80211.MAC{0x02, 1, 1, 1, 1, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BroadcastReply(time.Duration(i), mac, 40)
+		if e.SentCount(mac) >= 2000 {
+			// Exhausted: start a new client to keep the work uniform.
+			b.StopTimer()
+			mac[5]++
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkHarvestDirect(b *testing.B) {
+	e := benchEngine(b, 0)
+	src := ieee80211.MAC{0x02, 9, 9, 9, 9, 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.HarvestDirect(time.Duration(i), src, fmt.Sprintf("H-%07d", i))
+	}
+}
+
+func BenchmarkRecordHit(b *testing.B) {
+	e := benchEngine(b, 512)
+	victim := ieee80211.MAC{0x02, 1, 1, 1, 1, 1}
+	e.BroadcastReply(0, victim, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RecordHit(time.Duration(i), victim, fmt.Sprintf("Net-%05d", i%512))
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// BufferKind labels which selection bucket an SSID was served from; the
+// Figure 6 breakdown and the buffer adaptation both consume it.
+type BufferKind int
+
+// Buffer kinds.
+const (
+	// KindPopularity marks regular Popularity Buffer picks.
+	KindPopularity BufferKind = iota + 1
+	// KindPopularityGhost marks random picks from PB's ghost list.
+	KindPopularityGhost
+	// KindFreshness marks regular Freshness Buffer picks.
+	KindFreshness
+	// KindFreshnessGhost marks random picks from FB's ghost list.
+	KindFreshnessGhost
+	// KindMirror marks KARMA-style responses to directed probes.
+	KindMirror
+)
+
+// String implements fmt.Stringer.
+func (k BufferKind) String() string {
+	switch k {
+	case KindPopularity:
+		return "popularity"
+	case KindPopularityGhost:
+		return "popularity-ghost"
+	case KindFreshness:
+		return "freshness"
+	case KindFreshnessGhost:
+		return "freshness-ghost"
+	case KindMirror:
+		return "mirror"
+	default:
+		return "unknown"
+	}
+}
+
+// FromPopularity reports whether the kind belongs to the popularity side
+// (buffer or ghost) in the paper's Figure 6 grouping.
+func (k BufferKind) FromPopularity() bool {
+	return k == KindPopularity || k == KindPopularityGhost
+}
+
+// FromFreshness reports whether the kind belongs to the freshness side.
+func (k BufferKind) FromFreshness() bool {
+	return k == KindFreshness || k == KindFreshnessGhost
+}
+
+// HitRecord is one successful capture with full attribution.
+type HitRecord struct {
+	// MAC is the victim.
+	MAC ieee80211.MAC
+	// SSID lured it.
+	SSID string
+	// At is the capture time.
+	At time.Duration
+	// Source says where the SSID was learnt (WiGLE/nearby/direct/carrier).
+	Source Source
+	// Kind says which buffer served it (mirror for directed-probe hits).
+	Kind BufferKind
+}
+
+// StateSample is a point-in-time engine snapshot for time-series plots.
+type StateSample struct {
+	At     time.Duration
+	DBSize int
+	PB     int
+	FB     int
+}
+
+type clientKey = ieee80211.MAC
+
+// clientTrack is the per-client untried bookkeeping (§III-A): every SSID
+// ever sent to the client, with the bucket it came from.
+type clientTrack struct {
+	sent      map[string]BufferKind
+	sentCount int
+}
+
+// Engine is the City-Hunter strategy. It is not safe for concurrent use;
+// the discrete-event engine is single-threaded by design.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+	db  *database
+
+	clients map[clientKey]*clientTrack
+	// fbSize is the adaptive Freshness Buffer size; the Popularity
+	// Buffer gets the rest of the regular budget.
+	fbSize int
+
+	hits       []HitRecord
+	seededSize int
+	samples    []StateSample
+
+	// Ghost-hit counters drive the optional proportional adaptation.
+	pbGhostHits int
+	fbGhostHits int
+
+	// scratchBatch is reused across selections to avoid allocation.
+	scratchBatch []string
+}
+
+// Name implements attack.Strategy.
+func (e *Engine) Name() string {
+	if e.cfg.Mode == ModePreliminary {
+		return "City-Hunter (preliminary)"
+	}
+	return "City-Hunter"
+}
+
+// DBSize returns the current SSID database size.
+func (e *Engine) DBSize() int { return e.db.len() }
+
+// SeededSize returns the database size right after offline initialisation.
+func (e *Engine) SeededSize() int { return e.seededSize }
+
+// BufferSizes returns the current regular Popularity and Freshness buffer
+// sizes. In preliminary mode the whole budget is popularity.
+func (e *Engine) BufferSizes() (pb, fb int) {
+	if e.cfg.Mode == ModePreliminary {
+		return e.cfg.ReplyBudget, 0
+	}
+	regular := e.cfg.ReplyBudget - 2*e.cfg.GhostPicks
+	return regular - e.fbSize, e.fbSize
+}
+
+// Hits returns all capture records in order.
+func (e *Engine) Hits() []HitRecord {
+	out := make([]HitRecord, len(e.hits))
+	copy(out, e.hits)
+	return out
+}
+
+// SentCount returns how many distinct SSIDs have been sent to mac.
+func (e *Engine) SentCount(mac ieee80211.MAC) int {
+	if t, ok := e.clients[mac]; ok {
+		return t.sentCount
+	}
+	return 0
+}
+
+// SampleState records a snapshot at the given time for time-series output.
+func (e *Engine) SampleState(now time.Duration) {
+	pb, fb := e.BufferSizes()
+	e.samples = append(e.samples, StateSample{At: now, DBSize: e.db.len(), PB: pb, FB: fb})
+}
+
+// Samples returns the recorded snapshots.
+func (e *Engine) Samples() []StateSample {
+	out := make([]StateSample, len(e.samples))
+	copy(out, e.samples)
+	return out
+}
+
+// EntryInfo is an exported view of one database entry.
+type EntryInfo struct {
+	SSID   string
+	Source Source
+	Weight float64
+	Hits   int
+}
+
+// TopEntries returns the n highest-weight entries.
+func (e *Engine) TopEntries(n int) []EntryInfo {
+	rank := e.db.popularityRank()
+	if n > len(rank) {
+		n = len(rank)
+	}
+	out := make([]EntryInfo, n)
+	for i := 0; i < n; i++ {
+		en := rank[i]
+		out[i] = EntryInfo{SSID: en.ssid, Source: en.source, Weight: en.weight, Hits: en.hits}
+	}
+	return out
+}
+
+func (e *Engine) track(mac ieee80211.MAC) *clientTrack {
+	t, ok := e.clients[mac]
+	if !ok {
+		t = &clientTrack{sent: make(map[string]BufferKind)}
+		e.clients[mac] = t
+	}
+	return t
+}
+
+// Knows implements attack.Knower: whether ssid is already in the database.
+func (e *Engine) Knows(ssid string) bool {
+	_, ok := e.db.get(ssid)
+	return ok
+}
+
+// HarvestDirect implements attack.Strategy: online database updating from
+// directed probes (step 2 of Fig. 3). New SSIDs enter with HarvestWeight;
+// re-sightings bump the weight. The probed SSID is also marked as tried for
+// the prober — the base station mirrors it, so a batch slot would be
+// wasted on it.
+func (e *Engine) HarvestDirect(_ time.Duration, sa ieee80211.MAC, ssid string) {
+	if ssid == "" {
+		return
+	}
+	if !e.db.add(ssid, SourceDirectProbe, e.cfg.HarvestWeight) {
+		e.db.bump(ssid, e.cfg.SightingWeightDelta)
+	}
+	t := e.track(sa)
+	if _, dup := t.sent[ssid]; !dup {
+		t.sent[ssid] = KindMirror
+		t.sentCount++
+	}
+}
+
+// BroadcastReply implements attack.Strategy: SSID selection (step 3 of
+// Fig. 3). In full mode the batch is drawn from the Popularity Buffer, the
+// Freshness Buffer and GhostPicks random entries from each ghost list,
+// under the per-client untried rotation; any shortfall is backfilled with
+// further popularity-ranked entries.
+func (e *Engine) BroadcastReply(_ time.Duration, sa ieee80211.MAC, limit int) []string {
+	budget := e.cfg.ReplyBudget
+	if limit < budget {
+		budget = limit
+	}
+	if budget <= 0 {
+		return nil
+	}
+	t := e.track(sa)
+
+	tried := func(ssid string) bool {
+		if !e.cfg.RotateUntried {
+			return false
+		}
+		_, ok := t.sent[ssid]
+		return ok
+	}
+
+	batch := e.scratchBatch[:0]
+	chosen := make(map[string]BufferKind, budget)
+	take := func(en *entry, kind BufferKind) bool {
+		if _, dup := chosen[en.ssid]; dup || tried(en.ssid) {
+			return false
+		}
+		chosen[en.ssid] = kind
+		batch = append(batch, en.ssid)
+		return len(batch) >= budget
+	}
+
+	if e.cfg.Mode == ModeFull {
+		e.selectFull(budget, tried, chosen, take)
+	}
+	// Preliminary mode — and full-mode backfill when the freshness side
+	// could not fill its share. The §III design has no weights yet, so
+	// it walks the database in storage order; the full design backfills
+	// down the popularity ranking.
+	if len(batch) < budget {
+		backfill := e.db.popularityRank()
+		if e.cfg.Mode == ModePreliminary {
+			backfill = e.db.unorderedRank()
+		}
+		for _, en := range backfill {
+			if take(en, KindPopularity) {
+				break
+			}
+		}
+	}
+
+	for _, ssid := range batch {
+		if _, dup := t.sent[ssid]; !dup {
+			t.sent[ssid] = chosen[ssid]
+			t.sentCount++
+		}
+	}
+	e.scratchBatch = batch
+	out := make([]string, len(batch))
+	copy(out, batch)
+	return out
+}
+
+// selectFull fills the batch from PB, FB and both ghost lists. Both the
+// regular buffers and the ghost candidates honour the per-client untried
+// rotation: a client never wastes a slot on an SSID it already received.
+func (e *Engine) selectFull(budget int, tried func(string) bool, chosen map[string]BufferKind, take func(*entry, BufferKind) bool) {
+	regular := budget - 2*e.cfg.GhostPicks
+	if regular < 0 {
+		regular = 0
+	}
+	fb := e.fbSize
+	if fb > regular {
+		fb = regular
+	}
+	pb := regular - fb
+
+	eligible := func(en *entry) bool {
+		if _, dup := chosen[en.ssid]; dup {
+			return false
+		}
+		return !tried(en.ssid)
+	}
+
+	// Popularity Buffer: the pb highest-weight eligible entries; the next
+	// GhostSize eligible entries form its ghost list.
+	var ghostPop []*entry
+	taken := 0
+	for _, en := range e.db.popularityRank() {
+		if !eligible(en) {
+			continue
+		}
+		if taken < pb {
+			if take(en, KindPopularity) {
+				return
+			}
+			taken++
+			continue
+		}
+		if len(ghostPop) < e.cfg.GhostSize {
+			ghostPop = append(ghostPop, en)
+			continue
+		}
+		break
+	}
+
+	// Freshness Buffer: the fb most recently hit eligible entries; the
+	// following GhostSize form its ghost list.
+	var ghostFresh []*entry
+	taken = 0
+	for _, en := range e.db.freshnessRank() {
+		if !eligible(en) {
+			continue
+		}
+		if taken < fb {
+			if take(en, KindFreshness) {
+				return
+			}
+			taken++
+			continue
+		}
+		if len(ghostFresh) < e.cfg.GhostSize {
+			ghostFresh = append(ghostFresh, en)
+			continue
+		}
+		break
+	}
+
+	// Random ghost picks from each list.
+	e.pickGhosts(ghostPop, KindPopularityGhost, take)
+	e.pickGhosts(ghostFresh, KindFreshnessGhost, take)
+}
+
+// adaptDelta returns the buffer-boundary step for a ghost hit: 1 under the
+// paper's rule, or ARC's max(1, opposite/own) under proportional mode.
+func (e *Engine) adaptDelta(opposite, own int) int {
+	if !e.cfg.ProportionalAdaptation || own <= 0 || opposite <= own {
+		return 1
+	}
+	return opposite / own
+}
+
+// pickGhosts takes up to GhostPicks random entries from candidates.
+func (e *Engine) pickGhosts(candidates []*entry, kind BufferKind, take func(*entry, BufferKind) bool) {
+	picks := e.cfg.GhostPicks
+	if picks > len(candidates) {
+		picks = len(candidates)
+	}
+	// Partial Fisher-Yates over the candidate list.
+	for i := 0; i < picks; i++ {
+		j := i + e.rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		if take(candidates[i], kind) {
+			return
+		}
+	}
+}
+
+// RecordHit implements attack.Strategy: weight and freshness updates plus
+// buffer-size adaptation (step 2/3 of Fig. 3). A hit served from PB's ghost
+// list means the Popularity Buffer was too small, so it grows at FB's
+// expense, and vice versa — the ARC-inspired balancing of §IV-C.
+func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string) {
+	e.db.recordHit(ssid, now, e.cfg.HitWeightDelta)
+
+	kind := KindMirror
+	if t, ok := e.clients[victim]; ok {
+		if k, ok := t.sent[ssid]; ok {
+			kind = k
+		}
+	}
+	source := SourceDirectProbe
+	if en, ok := e.db.get(ssid); ok {
+		source = en.source
+	}
+	e.hits = append(e.hits, HitRecord{MAC: victim, SSID: ssid, At: now, Source: source, Kind: kind})
+
+	if e.cfg.Mode != ModeFull || e.cfg.DisableAdaptation {
+		return
+	}
+	regular := e.cfg.ReplyBudget - 2*e.cfg.GhostPicks
+	switch kind {
+	case KindPopularityGhost:
+		// The Popularity Buffer proved too small: grow it at the
+		// Freshness Buffer's expense — by one (the paper's rule) or by
+		// the ARC-style proportional step.
+		e.pbGhostHits++
+		delta := e.adaptDelta(e.fbGhostHits, e.pbGhostHits)
+		if e.fbSize-delta < e.cfg.MinBuffer {
+			delta = e.fbSize - e.cfg.MinBuffer
+		}
+		e.fbSize -= delta
+	case KindFreshnessGhost:
+		// And vice versa.
+		e.fbGhostHits++
+		delta := e.adaptDelta(e.pbGhostHits, e.fbGhostHits)
+		if e.fbSize+delta > regular-e.cfg.MinBuffer {
+			delta = regular - e.cfg.MinBuffer - e.fbSize
+		}
+		e.fbSize += delta
+	}
+}

@@ -1,0 +1,88 @@
+// Command diag is the calibration harness behind pnl.DefaultConfig: it
+// sweeps phone-population parameters and prints the emergent attack rates
+// next to the paper's targets, which is how the frozen defaults in
+// EXPERIMENTS.md ("Calibration") were chosen. Re-run it after changing the
+// city or PNL models to re-check the bands.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/citygen"
+	"cityhunter/internal/heatmap"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/scenario"
+)
+
+func main() {
+	city, err := citygen.Generate(citygen.DefaultConfig(7))
+	if err != nil {
+		panic(err)
+	}
+	hm, err := heatmap.FromPhotos(city.Bounds, 200, city.Photos)
+	if err != nil {
+		panic(err)
+	}
+
+	sampleRng := rand.New(rand.NewSource(99))
+	sampled, err := city.DB.SampleCrowdsourced(sampleRng, 0.35, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wigle: full=%d sampled=%d records\n", city.DB.Len(), sampled.Len())
+
+	configs := []pnl.Config{pnl.DefaultConfig()}
+
+	for _, pc := range configs {
+		model, err := pnl.NewModel(city.DB, hm, pc)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("user=%.2f exp=%.2f\n", pc.PublicUserFraction, pc.AdoptionExponent)
+
+		run := func(v scenario.Venue, kind scenario.AttackKind, slot int) *scenario.Result {
+			cfg := scenario.Config{
+				City: city, HeatMap: hm, PNL: model, Venue: v, Attack: kind, WiGLE: sampled,
+				DirectProberFraction: 0.15, Seed: 11,
+			}
+			res, err := scenario.Run(cfg, slot, 30*time.Minute)
+			if err != nil {
+				panic(err)
+			}
+			b := res.Breakdown()
+			fmt.Printf("  %-10.10s %-26s %s  src w/d/c=%d/%d/%d buf p/f=%d/%d\n",
+				v.Name, res.Attack, res.Tally,
+				b.FromWiGLE, b.FromDirect, b.FromCarrier, b.FromPopularity, b.FromFreshness)
+			return res
+		}
+		run(scenario.CanteenVenue(), scenario.MANA, 4)
+		run(scenario.CanteenVenue(), scenario.KARMA, 4)
+		c := run(scenario.CanteenVenue(), scenario.CityHunter, 4)
+		// Fig 2a: mean SSIDs sent to connected broadcast clients.
+		tot, n := 0, 0
+		for _, o := range c.Outcomes {
+			if o.Connected && !o.DirectProber {
+				tot += o.SSIDsSent
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf("    fig2a mean sent (connected, bcast) = %d over %d victims\n", tot/n, n)
+		}
+		p := run(scenario.PassageVenue(), scenario.CityHunter, 0)
+		// Fig 2b: histogram of SSIDs sent to broadcast clients in passage.
+		bins := map[int]int{}
+		bn := 0
+		for _, o := range p.Outcomes {
+			if o.Probed && !o.DirectProber {
+				bins[o.SSIDsSent/40*40]++
+				bn++
+			}
+		}
+		fmt.Printf("    fig2b bins: 0:%.0f%% 40:%.0f%% 80:%.0f%% 120:%.0f%%\n",
+			100*float64(bins[0])/float64(bn), 100*float64(bins[40])/float64(bn),
+			100*float64(bins[80])/float64(bn), 100*float64(bins[120])/float64(bn))
+	}
+}

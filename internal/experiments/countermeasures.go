@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cityhunter"
+)
+
+// CountermeasuresResult measures the defences the paper's conclusion
+// endorses, deployed against the full City-Hunter.
+type CountermeasuresResult struct {
+	// Baseline is the undefended crowd.
+	Baseline cityhunter.Tally
+	// CanaryShares maps defended-population share to its tally.
+	CanaryShares []CanaryPoint
+	// RandomizedMACs is the tally with every phone rotating its probe MAC
+	// per scan (the modern OS default); RandomizedMACsSeen is how many
+	// distinct "clients" the attacker thought it saw.
+	RandomizedMACs     cityhunter.Tally
+	RandomizedMACsSeen int
+	// CautiousVsCanaries is the arms-race round: the attacker answers
+	// directed probes only for SSIDs it already knows, so canary probes
+	// draw no response. Measured against a fully canary-armed crowd.
+	CautiousVsCanaries           cityhunter.Tally
+	CautiousVsCanariesUnmaskings int
+	// SentinelFlaggedAttacker reports whether the passive detector
+	// identified the attacker, and how fast.
+	SentinelFlaggedAttacker bool
+	SentinelDetectionTime   time.Duration
+	SentinelSSIDsSeen       int
+}
+
+// CanaryPoint is one defended-share measurement.
+type CanaryPoint struct {
+	Share      float64
+	Tally      cityhunter.Tally
+	Detections int
+}
+
+// String renders the countermeasure report.
+func (r *CountermeasuresResult) String() string {
+	var b strings.Builder
+	b.WriteString("Countermeasures (§VI) — evil-twin detection vs City-Hunter (canteen, 30 min)\n")
+	fmt.Fprintf(&b, "undefended:            h_b = %5.1f%%  (%v)\n",
+		pct(r.Baseline.BroadcastHitRate()), r.Baseline)
+	for _, p := range r.CanaryShares {
+		fmt.Fprintf(&b, "canary clients %3.0f%%:    h_b = %5.1f%%  (%d unmaskings)\n",
+			100*p.Share, pct(p.Tally.BroadcastHitRate()), p.Detections)
+	}
+	fmt.Fprintf(&b, "randomized MACs 100%%:   h_b = %5.1f%% ground truth; the attacker believed it saw %d clients\n",
+		pct(r.RandomizedMACs.BroadcastHitRate()), r.RandomizedMACsSeen)
+	fmt.Fprintf(&b, "arms race — cautious mirror vs 100%% canaries: h_b = %5.1f%% (%d unmaskings)\n",
+		pct(r.CautiousVsCanaries.BroadcastHitRate()), r.CautiousVsCanariesUnmaskings)
+	if r.SentinelFlaggedAttacker {
+		fmt.Fprintf(&b, "passive sentinel flagged the attacker after %v (%d lure SSIDs observed)\n",
+			r.SentinelDetectionTime.Truncate(time.Millisecond), r.SentinelSSIDsSeen)
+	} else {
+		b.WriteString("passive sentinel did NOT flag the attacker\n")
+	}
+	b.WriteString("paper: existing evil-twin detection still works against City-Hunter\n")
+	return b.String()
+}
+
+// Countermeasures runs the defence experiments: a canary-probing share
+// sweep, and a passive sentinel deployment.
+func Countermeasures(w *cityhunter.World, o Options) (*CountermeasuresResult, error) {
+	res := &CountermeasuresResult{}
+
+	base, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, o.tableDuration(),
+		o.runOpts(w, 80, cityhunter.WithSentinel())...)
+	if err != nil {
+		return nil, fmt.Errorf("countermeasures baseline: %w", err)
+	}
+	res.Baseline = base.Tally
+	if base.Sentinel != nil {
+		findings := base.Sentinel.Findings()
+		if len(findings) > 0 {
+			res.SentinelFlaggedAttacker = true
+			res.SentinelDetectionTime = findings[0].FlaggedAt
+			res.SentinelSSIDsSeen = base.Sentinel.SSIDCount(findings[0].BSSID)
+		}
+	}
+
+	for i, share := range []float64{0.25, 0.5, 1.0} {
+		r, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+			cityhunter.LunchSlot, o.tableDuration(),
+			o.runOpts(w, 80, cityhunter.WithCanaryClients(share))...)
+		if err != nil {
+			return nil, fmt.Errorf("countermeasures canary %d: %w", i, err)
+		}
+		res.CanaryShares = append(res.CanaryShares, CanaryPoint{
+			Share:      share,
+			Tally:      r.Tally,
+			Detections: r.CanaryDetections,
+		})
+	}
+	rnd, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, o.tableDuration(),
+		o.runOpts(w, 80, cityhunter.WithRandomizedMACs(1.0))...)
+	if err != nil {
+		return nil, fmt.Errorf("countermeasures randomized MACs: %w", err)
+	}
+	res.RandomizedMACs = rnd.Tally
+	res.RandomizedMACsSeen = rnd.Report.TotalClients
+
+	arms, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, o.tableDuration(),
+		o.runOpts(w, 80, cityhunter.WithCanaryClients(1.0), cityhunter.WithCautiousMirror())...)
+	if err != nil {
+		return nil, fmt.Errorf("countermeasures arms race: %w", err)
+	}
+	res.CautiousVsCanaries = arms.Tally
+	res.CautiousVsCanariesUnmaskings = arms.CanaryDetections
+	return res, nil
+}

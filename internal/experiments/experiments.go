@@ -1,0 +1,123 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a cityhunter.World. Each generator returns a typed result
+// whose String method renders the same rows or series the paper reports,
+// alongside the paper's own numbers for comparison.
+//
+// The generators are shared by cmd/experiments (full-scale runs) and the
+// repository benchmarks (reduced-scale runs via Options).
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"cityhunter"
+)
+
+// Options scales the experiment harness.
+type Options struct {
+	// SlotDuration caps each per-slot run; 0 means the full experiment
+	// length (1 hour for Figure 5/6 grids, 30 minutes for the tables).
+	SlotDuration time.Duration
+	// ArrivalScale multiplies crowd arrival rates; 0 means 1.
+	ArrivalScale float64
+	// Seed offsets the per-run seeds; 0 uses the world seed.
+	Seed int64
+	// Parallelism bounds concurrent simulation runs where an experiment
+	// fans out over independent deployments (the Figure 5/6 grid and the
+	// robustness replication). 0 selects GOMAXPROCS; 1 forces serial.
+	// Results are deterministic regardless: every run has its own seed
+	// and engine.
+	Parallelism int
+}
+
+// tableDuration returns the duration for the 30-minute table experiments.
+func (o Options) tableDuration() time.Duration {
+	d := 30 * time.Minute
+	if o.SlotDuration > 0 && o.SlotDuration < d {
+		d = o.SlotDuration
+	}
+	return d
+}
+
+// slotDuration returns the duration for the hour-long grid experiments.
+func (o Options) slotDuration() time.Duration {
+	d := time.Hour
+	if o.SlotDuration > 0 && o.SlotDuration < d {
+		d = o.SlotDuration
+	}
+	return d
+}
+
+func (o Options) seed(w *cityhunter.World, offset int64) int64 {
+	base := o.Seed
+	if base == 0 {
+		base = w.Seed()
+	}
+	return base*1000 + offset
+}
+
+func (o Options) runOpts(w *cityhunter.World, offset int64, extra ...cityhunter.RunOption) []cityhunter.RunOption {
+	opts := []cityhunter.RunOption{cityhunter.WithRunSeed(o.seed(w, offset))}
+	if o.ArrivalScale > 0 {
+		opts = append(opts, cityhunter.WithArrivalScale(o.ArrivalScale))
+	}
+	return append(opts, extra...)
+}
+
+// pct renders a rate as a percentage.
+func pct(x float64) float64 { return 100 * x }
+
+// forEach runs fn(i) for i in [0, n) with the configured parallelism and
+// returns the first error. Each index must be independent (own run seed,
+// own simulation); output ordering is the caller's responsibility.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cityhunter"
+)
+
+var (
+	worldOnce sync.Once
+	worldVal  *cityhunter.World
+	worldErr  error
+)
+
+func testWorld(t *testing.T) *cityhunter.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		worldVal, worldErr = cityhunter.NewWorld(cityhunter.WithSeed(1))
+	})
+	if worldErr != nil {
+		t.Fatalf("NewWorld: %v", worldErr)
+	}
+	return worldVal
+}
+
+// quickOpts keeps unit runs fast; band assertions use wider tolerances
+// accordingly.
+func quickOpts() Options {
+	return Options{SlotDuration: 8 * time.Minute, ArrivalScale: 0.6}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	karma, mana := res.Rows[0], res.Rows[1]
+	if karma.Attack != "KARMA" || mana.Attack != "MANA" {
+		t.Fatalf("row order: %q, %q", karma.Attack, mana.Attack)
+	}
+	if karma.Tally.BroadcastHitRate() != 0 {
+		t.Errorf("KARMA h_b = %v, want 0", karma.Tally.BroadcastHitRate())
+	}
+	if karma.Tally.Total == 0 || mana.Tally.Total == 0 {
+		t.Error("empty crowds")
+	}
+	if !strings.Contains(res.String(), "Table I") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].DBSize < res.Points[i-1].DBSize {
+			t.Error("MANA DB size decreased")
+		}
+		if res.Points[i].Connected < res.Points[i-1].Connected {
+			t.Error("cumulative connected decreased")
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mana, ch := res.Rows[0], res.Rows[1]
+	if ch.Tally.BroadcastHitRate() <= mana.Tally.BroadcastHitRate() {
+		t.Errorf("City-Hunter h_b %.3f not above MANA %.3f",
+			ch.Tally.BroadcastHitRate(), mana.Tally.BroadcastHitRate())
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	res, err := Figure2(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CanteenVictims == 0 {
+		t.Fatal("no canteen victims")
+	}
+	if res.CanteenMin < 0 || res.CanteenMax < res.CanteenMin {
+		t.Errorf("min/max = %d/%d", res.CanteenMin, res.CanteenMax)
+	}
+	total := 0.0
+	oneBatch := 0.0
+	for _, share := range res.PassageShares {
+		total += share.Fraction
+		if share.SSIDs == 40 {
+			oneBatch = share.Fraction
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	// The dominant passage experience is a single 40-SSID batch.
+	if oneBatch < 0.5 {
+		t.Errorf("one-batch share = %.2f, want the majority (paper ~70%%)", oneBatch)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row.Tally.Total == 0 {
+		t.Fatal("no clients")
+	}
+	// The unordered preliminary design in the passage stays well below
+	// the full design's 12%-ish band.
+	if hb := res.Row.Tally.BroadcastHitRate(); hb > 0.10 {
+		t.Errorf("preliminary passage h_b = %.3f, want < 0.10 (paper 4.1%%)", hb)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(testWorld(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByCount) != 5 || len(res.ByHeat) != 5 {
+		t.Fatalf("rankings = %d/%d", len(res.ByCount), len(res.ByHeat))
+	}
+	inTop := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if inTop(res.ByCount, "#HKAirport Free WiFi") {
+		t.Error("airport SSID in top-5 by AP count; paper ranks it 13th")
+	}
+	if !inTop(res.ByHeat, "#HKAirport Free WiFi") {
+		t.Errorf("airport SSID missing from top-5 by heat: %v", res.ByHeat)
+	}
+	if !inTop(res.ByHeat, "Free Public WiFi") {
+		t.Errorf("'Free Public WiFi' missing from top-5 by heat: %v", res.ByHeat)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := Figure4(testWorld(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no hot cells")
+	}
+	// The hottest cell must sit inside a venue.
+	if res.Cells[0].Venue == "" {
+		t.Errorf("hottest cell %+v not at any venue", res.Cells[0])
+	}
+	for i := 1; i < len(res.Cells); i++ {
+		if res.Cells[i].Photos > res.Cells[i-1].Photos {
+			t.Error("cells not ordered by photo count")
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48 runs")
+	}
+	opts := Options{SlotDuration: 3 * time.Minute, ArrivalScale: 0.5}
+	grid, err := Grid(testWorld(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Venues) != 4 {
+		t.Fatalf("venues = %d", len(grid.Venues))
+	}
+	for _, v := range grid.Venues {
+		if len(grid.Slots[v]) != 12 {
+			t.Errorf("%s has %d slots", v, len(grid.Slots[v]))
+		}
+	}
+	if !strings.Contains(grid.Figure5(), "average h_b") {
+		t.Error("Figure5 output malformed")
+	}
+	if !strings.Contains(grid.Figure6(), "WiGLE") {
+		t.Error("Figure6 output malformed")
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 8-minute runs")
+	}
+	res, err := Extensions(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deauth must expose more clients than the control.
+	if res.DeauthOn.Total <= res.DeauthOff.Total {
+		t.Errorf("deauth on heard %d clients, off heard %d; extension should expose more",
+			res.DeauthOn.Total, res.DeauthOff.Total)
+	}
+	// Carrier seeding only adds victims.
+	if res.CarrierHits == 0 {
+		t.Error("carrier seeding produced no carrier hits")
+	}
+	if res.CarrierOffHits != 0 {
+		t.Errorf("control run hit %d carrier SSIDs without seeding them", res.CarrierOffHits)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twelve runs")
+	}
+	res, err := Ablation(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AblationVariant, len(res.Variants))
+	for _, v := range res.Variants {
+		byName[v.Name] = v
+	}
+	full := byName["full City-Hunter"]
+	noWigle := byName["no WiGLE seeding (harvest only)"]
+	if full.CanteenHb == 0 {
+		t.Fatal("full variant captured nothing")
+	}
+	if noWigle.CanteenHb >= full.CanteenHb {
+		t.Errorf("removing WiGLE seeding did not hurt: %.3f vs %.3f",
+			noWigle.CanteenHb, full.CanteenHb)
+	}
+	if !strings.Contains(res.String(), "Ablation") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestCountermeasuresShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four runs")
+	}
+	res, err := Countermeasures(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SentinelFlaggedAttacker {
+		t.Error("sentinel failed to flag the attacker")
+	}
+	if res.Baseline.BroadcastHitRate() == 0 {
+		t.Fatal("baseline captured nothing")
+	}
+	if len(res.CanaryShares) != 3 {
+		t.Fatalf("canary points = %d", len(res.CanaryShares))
+	}
+	// Full canary coverage neutralises the attack on broadcast probers.
+	full := res.CanaryShares[len(res.CanaryShares)-1]
+	if full.Share != 1.0 {
+		t.Fatalf("last share = %v", full.Share)
+	}
+	if got := full.Tally.BroadcastHitRate(); got > res.Baseline.BroadcastHitRate()/4 {
+		t.Errorf("full canary h_b = %.3f, want ≪ baseline %.3f",
+			got, res.Baseline.BroadcastHitRate())
+	}
+	if full.Detections == 0 {
+		t.Error("no canary unmaskings recorded")
+	}
+	if !strings.Contains(res.String(), "sentinel") {
+		t.Error("String lacks sentinel line")
+	}
+}
+
+func TestRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated runs")
+	}
+	res, err := Robustness(testWorld(t), quickOpts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 3 || res.Canteen.N != 3 || res.Passage.N != 3 {
+		t.Fatalf("replica counts: %+v", res)
+	}
+	if res.Canteen.Mean <= res.Passage.Mean {
+		t.Errorf("canteen mean %.3f not above passage %.3f", res.Canteen.Mean, res.Passage.Mean)
+	}
+	if res.CanteenLo >= res.CanteenHi || res.PassageLo >= res.PassageHi {
+		t.Error("degenerate Wilson intervals")
+	}
+	if !strings.Contains(res.String(), "Robustness") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twelve runs")
+	}
+	res, err := Sensitivity(testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweeps) != 4 {
+		t.Fatalf("sweeps = %d", len(res.Sweeps))
+	}
+	for _, s := range res.Sweeps {
+		if len(s.Points) != 3 {
+			t.Errorf("%s: %d points", s.Knob, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Tally.Total == 0 {
+				t.Errorf("%s/%s: empty crowd", s.Knob, p.Label)
+			}
+		}
+	}
+	// The strongest, least noisy trend: starving the reply budget hurts.
+	for _, s := range res.Sweeps {
+		if s.Knob != "reply budget" {
+			continue
+		}
+		first := s.Points[0].Tally.BroadcastHitRate()
+		last := s.Points[len(s.Points)-1].Tally.BroadcastHitRate()
+		if first >= last {
+			t.Errorf("10-SSID budget h_b %.3f not below 40-SSID budget %.3f", first, last)
+		}
+	}
+	if !strings.Contains(res.String(), "Sensitivity") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestGridParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two grids")
+	}
+	w := testWorld(t)
+	opts := Options{SlotDuration: 90 * time.Second, ArrivalScale: 0.4}
+	serialOpts := opts
+	serialOpts.Parallelism = 1
+	parallelOpts := opts
+	parallelOpts.Parallelism = 4
+
+	serial, err := Grid(w, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Grid(w, parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, venue := range serial.Venues {
+		for i := range serial.Slots[venue] {
+			if serial.Slots[venue][i].Tally != parallel.Slots[venue][i].Tally {
+				t.Fatalf("%s slot %d differs between serial and parallel runs", venue, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cityhunter"
+	"cityhunter/internal/stats"
+)
+
+// RobustnessResult replicates the headline h_b measurement across several
+// run seeds and reports the replication band with a Wilson interval from
+// the pooled counts — the sanity check that the paper's bands are not a
+// single lucky draw.
+type RobustnessResult struct {
+	Replicas int
+	Canteen  stats.RateSummary
+	Passage  stats.RateSummary
+	// Pooled Wilson 95 % intervals over all replicas' clients.
+	CanteenLo, CanteenHi float64
+	PassageLo, PassageHi float64
+}
+
+// String renders the replication report.
+func (r *RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness — City-Hunter h_b across %d seeds (30-min runs)\n", r.Replicas)
+	fmt.Fprintf(&b, "canteen:  %v  pooled 95%% CI [%.1f%%, %.1f%%]  (paper 15.9-17.9%%)\n",
+		r.Canteen, 100*r.CanteenLo, 100*r.CanteenHi)
+	fmt.Fprintf(&b, "passage:  %v  pooled 95%% CI [%.1f%%, %.1f%%]  (paper ≈12%%)\n",
+		r.Passage, 100*r.PassageLo, 100*r.PassageHi)
+	return b.String()
+}
+
+// Robustness runs the canteen and passage deployments across replicas
+// seeds. replicas ≤ 0 selects 5.
+func Robustness(w *cityhunter.World, o Options, replicas int) (*RobustnessResult, error) {
+	if replicas <= 0 {
+		replicas = 5
+	}
+	res := &RobustnessResult{Replicas: replicas}
+
+	var canteenRates, passageRates []float64
+	var cHit, cN, pHit, pN int
+	for i := 0; i < replicas; i++ {
+		canteen, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+			cityhunter.LunchSlot, o.tableDuration(),
+			o.runOpts(w, int64(200+2*i))...)
+		if err != nil {
+			return nil, fmt.Errorf("robustness canteen %d: %w", i, err)
+		}
+		canteenRates = append(canteenRates, canteen.Tally.BroadcastHitRate())
+		cHit += canteen.Tally.ConnectedBroadcast
+		cN += canteen.Tally.Broadcast
+
+		passage, err := w.Run(cityhunter.PassageVenue(), cityhunter.CityHunter,
+			cityhunter.MorningRushSlot, o.tableDuration(),
+			o.runOpts(w, int64(201+2*i))...)
+		if err != nil {
+			return nil, fmt.Errorf("robustness passage %d: %w", i, err)
+		}
+		passageRates = append(passageRates, passage.Tally.BroadcastHitRate())
+		pHit += passage.Tally.ConnectedBroadcast
+		pN += passage.Tally.Broadcast
+	}
+	res.Canteen = stats.SummarizeRates(canteenRates)
+	res.Passage = stats.SummarizeRates(passageRates)
+	res.CanteenLo, res.CanteenHi = stats.WilsonInterval(cHit, cN)
+	res.PassageLo, res.PassageHi = stats.WilsonInterval(pHit, pN)
+	return res, nil
+}

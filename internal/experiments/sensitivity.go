@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cityhunter"
+	"cityhunter/internal/core"
+)
+
+// SensitivityPoint is one knob setting with its measured rates.
+type SensitivityPoint struct {
+	Label string
+	Tally cityhunter.Tally
+}
+
+// SensitivityResult sweeps the model knobs the paper could not vary in the
+// field, one at a time around the calibrated defaults, and reports how h_b
+// responds. Each sweep states the expected direction; the String output
+// flags violations.
+type SensitivityResult struct {
+	Sweeps []SensitivitySweep
+}
+
+// SensitivitySweep is one knob's series.
+type SensitivitySweep struct {
+	Knob string
+	// Direction documents the expected trend over the points:
+	// "increasing", "decreasing".
+	Direction string
+	Points    []SensitivityPoint
+}
+
+// monotone reports whether the sweep's h_b follows its declared direction,
+// within a small slack for seed noise.
+func (s SensitivitySweep) monotone(slack float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		prev := s.Points[i-1].Tally.BroadcastHitRate()
+		cur := s.Points[i].Tally.BroadcastHitRate()
+		switch s.Direction {
+		case "increasing":
+			if cur < prev-slack {
+				return false
+			}
+		case "decreasing":
+			if cur > prev+slack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders every sweep.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sensitivity — canteen h_b as one model knob moves off calibration\n")
+	for _, s := range r.Sweeps {
+		trend := "as expected"
+		if !s.monotone(0.02) {
+			trend = "NOT " + s.Direction + " (check seeds)"
+		}
+		fmt.Fprintf(&b, "[%s] expected %s — %s\n", s.Knob, s.Direction, trend)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "  %-24s h_b = %5.1f%%  (%d/%d broadcast clients)\n",
+				p.Label, pct(p.Tally.BroadcastHitRate()),
+				p.Tally.ConnectedBroadcast, p.Tally.Broadcast)
+		}
+	}
+	return b.String()
+}
+
+// Sensitivity runs the four sweeps.
+func Sensitivity(w *cityhunter.World, o Options) (*SensitivityResult, error) {
+	res := &SensitivityResult{}
+	venue := cityhunter.CanteenVenue()
+	// Every point pools three paired replicas: the same three crowd seeds
+	// are reused across the points of a sweep, so the knob is the only
+	// difference and the counts add up to a less noisy rate.
+	run := func(label string, seedOff int64, extra ...cityhunter.RunOption) (SensitivityPoint, error) {
+		var pooled cityhunter.Tally
+		for rep := int64(0); rep < 3; rep++ {
+			r, err := w.Run(venue, cityhunter.CityHunter, cityhunter.LunchSlot,
+				o.tableDuration(), o.runOpts(w, 300+seedOff+100*rep, extra...)...)
+			if err != nil {
+				return SensitivityPoint{}, fmt.Errorf("sensitivity %s: %w", label, err)
+			}
+			pooled.Total += r.Tally.Total
+			pooled.Direct += r.Tally.Direct
+			pooled.Broadcast += r.Tally.Broadcast
+			pooled.ConnectedDirect += r.Tally.ConnectedDirect
+			pooled.ConnectedBroadcast += r.Tally.ConnectedBroadcast
+		}
+		return SensitivityPoint{Label: label, Tally: pooled}, nil
+	}
+
+	// 1. Unsafe-phone share: more direct probers feed the database and
+	// also fall to the mirror themselves.
+	sweep := SensitivitySweep{Knob: "direct-prober fraction", Direction: "increasing"}
+	for _, f := range []float64{0.05, 0.15, 0.30} {
+		p, err := run(fmt.Sprintf("%.0f%% unsafe", 100*f), 1,
+			cityhunter.WithDirectProberFraction(f))
+		if err != nil {
+			return nil, err
+		}
+		sweep.Points = append(sweep.Points, p)
+	}
+	res.Sweeps = append(res.Sweeps, sweep)
+
+	// 2. Scan interval: slower scanning means fewer reply batches per
+	// dwell, so fewer database entries get tried.
+	sweep = SensitivitySweep{Knob: "scan interval", Direction: "decreasing"}
+	for _, d := range []time.Duration{30 * time.Second, 60 * time.Second, 150 * time.Second} {
+		p, err := run(d.String(), 10, cityhunter.WithScanInterval(d))
+		if err != nil {
+			return nil, err
+		}
+		sweep.Points = append(sweep.Points, p)
+	}
+	res.Sweeps = append(res.Sweeps, sweep)
+
+	// 3. WiGLE completeness: bigger crowd-sourcing gaps starve the
+	// offline seeding.
+	sweep = SensitivitySweep{Knob: "WiGLE small-network gaps", Direction: "decreasing"}
+	for _, miss := range []float64{0.0, 0.5, 0.95} {
+		db, err := w.City.DB.SampleCrowdsourced(rand.New(rand.NewSource(777)), miss, miss/2)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity wigle: %w", err)
+		}
+		// Same run seed for every point: the crowd is identical, so the
+		// comparison is paired and the WiGLE knob is the only change.
+		p, err := run(fmt.Sprintf("%.0f%% missing", 100*miss), 20,
+			cityhunter.WithWiGLE(db))
+		if err != nil {
+			return nil, err
+		}
+		sweep.Points = append(sweep.Points, p)
+	}
+	res.Sweeps = append(res.Sweeps, sweep)
+
+	// 4. Reply budget: the ≤40-responses constraint itself. Larger
+	// batches try more SSIDs per scan — up to the client's physical
+	// window of ~40; beyond that the extra responses fall outside the
+	// listening window, so the sweep stops at 40.
+	sweep = SensitivitySweep{Knob: "reply budget", Direction: "increasing"}
+	for _, budget := range []int{10, 24, 40} {
+		ccfg := core.DefaultConfig(core.ModeFull)
+		ccfg.ReplyBudget = budget
+		// Keep the FB share and ghost picks feasible for small budgets.
+		if regular := budget - 2*ccfg.GhostPicks; ccfg.InitialFreshness > regular-ccfg.MinBuffer {
+			ccfg.InitialFreshness = regular / 5
+			if ccfg.InitialFreshness < ccfg.MinBuffer {
+				ccfg.InitialFreshness = ccfg.MinBuffer
+			}
+		}
+		p, err := run(fmt.Sprintf("%d SSIDs/scan", budget), 30,
+			cityhunter.WithCoreConfig(ccfg))
+		if err != nil {
+			return nil, err
+		}
+		sweep.Points = append(sweep.Points, p)
+	}
+	res.Sweeps = append(res.Sweeps, sweep)
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkRunes are the eight block-element levels of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a numeric series as one line of block characters,
+// scaled to the series' own min/max. Empty series render empty; a constant
+// series renders at the lowest level.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// barChart writes labelled horizontal bars, scaled so the largest value
+// fills width cells. Values must be non-negative; the numeric value is
+// printed after each bar using the given format verb.
+func barChart(b *strings.Builder, labels []string, values []float64, width int, format string) {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, v := range values {
+		cells := 0
+		if max > 0 {
+			cells = int(v / max * float64(width))
+		}
+		fmt.Fprintf(b, "  %-*s %s%s "+format+"\n",
+			labelWidth, labels[i],
+			strings.Repeat("█", cells), strings.Repeat("·", width-cells), v)
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3})
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes = %q", got)
+	}
+	// Monotone series renders monotone glyph levels.
+	for i := 1; i < len(runes); i++ {
+		if indexOfSpark(runes[i]) < indexOfSpark(runes[i-1]) {
+			t.Errorf("sparkline not monotone: %q", got)
+		}
+	}
+	flat := sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("constant series = %q", flat)
+		}
+	}
+}
+
+func indexOfSpark(r rune) int {
+	for i, s := range sparkRunes {
+		if s == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	barChart(&b, []string{"aa", "b"}, []float64{10, 5}, 10, "%.0f")
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 10)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 5)+strings.Repeat("·", 5)) {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "10") || !strings.Contains(lines[1], "5") {
+		t.Error("values missing")
+	}
+
+	// Zero values render empty bars without panicking.
+	var z strings.Builder
+	barChart(&z, []string{"x"}, []float64{0}, 0, "%.0f")
+	if !strings.Contains(z.String(), strings.Repeat("·", 40)) {
+		t.Errorf("zero bar = %q", z.String())
+	}
+}

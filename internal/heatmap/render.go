@@ -1,0 +1,77 @@
+package heatmap
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// RenderPNG draws the heat map as a PNG: green for quiet cells through
+// yellow to red for the hottest (the paper's Figure 4 colouring), black
+// for empty cells. Each grid cell becomes a scale×scale pixel block;
+// scale ≤ 0 selects 4. Intensity is normalised on a square-root ramp so
+// mid-density areas stay visible next to the hottest venue.
+func (m *Map) RenderPNG(w io.Writer, scale int) error {
+	if scale <= 0 {
+		scale = 4
+	}
+	maxCount := 0
+	for _, c := range m.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, m.cols*scale, m.rows*scale))
+	for cy := 0; cy < m.rows; cy++ {
+		for cx := 0; cx < m.cols; cx++ {
+			c := heatColor(m.counts[cy*m.cols+cx], maxCount)
+			// Image y grows downward; the city y grows upward.
+			py0 := (m.rows - 1 - cy) * scale
+			px0 := cx * scale
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					img.SetRGBA(px0+dx, py0+dy, c)
+				}
+			}
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("heatmap: encode png: %w", err)
+	}
+	return nil
+}
+
+// heatColor maps a photo count to the green→yellow→red ramp.
+func heatColor(count, maxCount int) color.RGBA {
+	if count == 0 || maxCount == 0 {
+		return color.RGBA{R: 12, G: 12, B: 16, A: 255}
+	}
+	// Square-root normalisation keeps the long tail visible.
+	t := math.Sqrt(float64(count) / float64(maxCount))
+	switch {
+	case t < 0.5:
+		// green (0,160,60) → yellow (235,220,40)
+		f := t / 0.5
+		return lerpRGB(color.RGBA{R: 0, G: 160, B: 60, A: 255},
+			color.RGBA{R: 235, G: 220, B: 40, A: 255}, f)
+	default:
+		// yellow → red (220,30,30)
+		f := (t - 0.5) / 0.5
+		return lerpRGB(color.RGBA{R: 235, G: 220, B: 40, A: 255},
+			color.RGBA{R: 220, G: 30, B: 30, A: 255}, f)
+	}
+}
+
+func lerpRGB(a, b color.RGBA, f float64) color.RGBA {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	mix := func(x, y uint8) uint8 { return uint8(float64(x) + f*(float64(y)-float64(x))) }
+	return color.RGBA{R: mix(a.R, b.R), G: mix(a.G, b.G), B: mix(a.B, b.B), A: 255}
+}

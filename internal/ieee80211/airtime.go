@@ -1,0 +1,45 @@
+package ieee80211
+
+import "time"
+
+// Timing constants for the simulated medium. The scan-window values are the
+// ones the paper's analysis rests on: a client waits MinChannelTime for a
+// first probe response and at most MaxChannelTime after one arrived, and a
+// probe response occupies roughly ProbeResponseAirtime of the channel — so
+// about MaxResponsesPerScan responses from one AP fit into one scan.
+const (
+	// MinChannelTime is how long a scanning client waits for the first
+	// probe response.
+	MinChannelTime = 10 * time.Millisecond
+	// MaxChannelTime is how much longer it keeps listening once a first
+	// response has arrived.
+	MaxChannelTime = 10 * time.Millisecond
+	// ProbeResponseAirtime is the nominal per-response channel cost
+	// (≈0.25 ms per the measurement the paper cites).
+	ProbeResponseAirtime = 250 * time.Microsecond
+	// MaxResponsesPerScan is how many responses from one AP fit in one
+	// scan window: MaxChannelTime / ProbeResponseAirtime = 40.
+	MaxResponsesPerScan = int(MaxChannelTime / ProbeResponseAirtime)
+
+	// txOverhead models the fixed per-frame channel access cost: DIFS,
+	// the mean contention backoff and the PLCP preamble. Together with
+	// the 11 Mb/s payload rate below it puts a typical probe response at
+	// ≈0.25 ms, matching ProbeResponseAirtime.
+	txOverhead = 192 * time.Microsecond
+	// payloadNanosPerByte is the payload cost at the 11 Mb/s management
+	// rate: 8 bits / 11 Mb/s ≈ 727 ns per byte.
+	payloadNanosPerByte = 8 * 1000 / 11
+)
+
+// DefaultScanChannels is the channel sequence clients visit per scan: the
+// three non-overlapping 2.4 GHz channels where virtually all public APs
+// (and every KARMA-family attacker) sit.
+var DefaultScanChannels = []uint8{1, 6, 11}
+
+// Airtime returns the time f occupies the medium: fixed channel-access
+// overhead plus the payload at the management data rate. A typical probe
+// response (~60–90 bytes) costs ≈0.25 ms, which is what limits a client to
+// roughly 40 responses per scan.
+func (f *Frame) Airtime() time.Duration {
+	return txOverhead + time.Duration(f.WireLen()*payloadNanosPerByte)*time.Nanosecond
+}

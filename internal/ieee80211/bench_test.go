@@ -1,0 +1,44 @@
+package ieee80211
+
+import "testing"
+
+var benchFrame = &Frame{
+	Subtype:          SubtypeProbeResponse,
+	DA:               MAC{0x02, 1, 2, 3, 4, 5},
+	SA:               MAC{0x0a, 1, 2, 3, 4, 5},
+	BSSID:            MAC{0x0a, 1, 2, 3, 4, 5},
+	Seq:              100,
+	SSID:             "7-Eleven Free Wifi",
+	Capability:       CapESS,
+	Channel:          6,
+	BeaconIntervalTU: 100,
+}
+
+func BenchmarkMarshalProbeResponse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchFrame.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalProbeResponse(b *testing.B) {
+	wire, err := benchFrame.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAirtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = benchFrame.Airtime()
+	}
+}

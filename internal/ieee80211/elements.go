@@ -1,0 +1,53 @@
+package ieee80211
+
+import "fmt"
+
+// Information element IDs (802.11-2012 table 8-54).
+const (
+	elemSSID           = 0
+	elemSupportedRates = 1
+	elemDSParameterSet = 3
+)
+
+// MaxSSIDLen is the maximum SSID length in octets.
+const MaxSSIDLen = 32
+
+// defaultRates is the 802.11b/g basic rate set advertised in every frame
+// that carries a supported-rates element, encoded in 500 kb/s units with the
+// basic-rate bit set on the 802.11b rates.
+var defaultRates = []byte{0x82, 0x84, 0x8b, 0x96, 0x0c, 0x12, 0x18, 0x24}
+
+// ValidSSID reports whether s is a legal SSID: 0–32 octets.
+func ValidSSID(s string) bool { return len(s) <= MaxSSIDLen }
+
+// appendElement appends one information element (ID, length, payload).
+func appendElement(b []byte, id byte, payload []byte) []byte {
+	b = append(b, id, byte(len(payload)))
+	return append(b, payload...)
+}
+
+// elementReader iterates over the information elements in a frame body tail.
+type elementReader struct {
+	buf []byte
+	off int
+}
+
+// next returns the next element, or ok=false at the end of the buffer. A
+// truncated element is an error.
+func (r *elementReader) next() (id byte, payload []byte, ok bool, err error) {
+	if r.off == len(r.buf) {
+		return 0, nil, false, nil
+	}
+	if len(r.buf)-r.off < 2 {
+		return 0, nil, false, fmt.Errorf("ieee80211: truncated element header at offset %d", r.off)
+	}
+	id = r.buf[r.off]
+	n := int(r.buf[r.off+1])
+	r.off += 2
+	if len(r.buf)-r.off < n {
+		return 0, nil, false, fmt.Errorf("ieee80211: element %d claims %d bytes, %d remain", id, n, len(r.buf)-r.off)
+	}
+	payload = r.buf[r.off : r.off+n]
+	r.off += n
+	return id, payload, true, nil
+}

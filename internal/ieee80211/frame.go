@@ -1,0 +1,152 @@
+package ieee80211
+
+import "fmt"
+
+// FrameSubtype identifies the management frame subtypes this model supports.
+// Values match the 802.11 subtype field for management frames (type 00).
+type FrameSubtype uint8
+
+// Management frame subtypes (802.11-2012 table 8-1).
+const (
+	SubtypeAssocRequest  FrameSubtype = 0x0
+	SubtypeAssocResponse FrameSubtype = 0x1
+	SubtypeProbeRequest  FrameSubtype = 0x4
+	SubtypeProbeResponse FrameSubtype = 0x5
+	SubtypeBeacon        FrameSubtype = 0x8
+	SubtypeDeauth        FrameSubtype = 0xc
+	SubtypeAuth          FrameSubtype = 0xb
+)
+
+// String implements fmt.Stringer.
+func (s FrameSubtype) String() string {
+	switch s {
+	case SubtypeAssocRequest:
+		return "assoc-request"
+	case SubtypeAssocResponse:
+		return "assoc-response"
+	case SubtypeProbeRequest:
+		return "probe-request"
+	case SubtypeProbeResponse:
+		return "probe-response"
+	case SubtypeBeacon:
+		return "beacon"
+	case SubtypeAuth:
+		return "auth"
+	case SubtypeDeauth:
+		return "deauth"
+	default:
+		return fmt.Sprintf("subtype(%#x)", uint8(s))
+	}
+}
+
+// StatusCode is an 802.11 status code carried by auth and assoc responses.
+type StatusCode uint16
+
+// Status codes used in this model.
+const (
+	StatusSuccess          StatusCode = 0
+	StatusUnspecifiedFail  StatusCode = 1
+	StatusCapsUnsupported  StatusCode = 10
+	StatusDeniedOutOfRange StatusCode = 17
+)
+
+// ReasonCode is an 802.11 reason code carried by deauthentication frames.
+type ReasonCode uint16
+
+// Reason codes used in this model.
+const (
+	ReasonUnspecified      ReasonCode = 1
+	ReasonPrevAuthExpired  ReasonCode = 2
+	ReasonDeauthLeaving    ReasonCode = 3
+	ReasonInactivity       ReasonCode = 4
+	ReasonClass3FromNonAss ReasonCode = 7
+)
+
+// AuthAlgorithm identifies the authentication algorithm in auth frames.
+type AuthAlgorithm uint16
+
+// Authentication algorithms.
+const (
+	AuthOpenSystem AuthAlgorithm = 0
+	AuthSharedKey  AuthAlgorithm = 1
+)
+
+// CapabilityInfo is the 16-bit capability field of beacons, probe responses
+// and association frames.
+type CapabilityInfo uint16
+
+// Capability bits.
+const (
+	CapESS     CapabilityInfo = 1 << 0
+	CapIBSS    CapabilityInfo = 1 << 1
+	CapPrivacy CapabilityInfo = 1 << 4 // set ⇒ network requires encryption
+)
+
+// Privacy reports whether the privacy (encryption required) bit is set.
+func (c CapabilityInfo) Privacy() bool { return c&CapPrivacy != 0 }
+
+// Frame is one 802.11 management frame. The body fields that are meaningful
+// depend on Subtype; Marshal enforces which fields each subtype carries.
+type Frame struct {
+	Subtype FrameSubtype
+	// Addressing. DA is the destination (addr1), SA the source (addr2),
+	// BSSID the BSS identifier (addr3).
+	DA    MAC
+	SA    MAC
+	BSSID MAC
+	// Seq is the 12-bit sequence number.
+	Seq uint16
+
+	// SSID is carried by probe requests (empty for broadcast/wildcard
+	// probes), probe responses, beacons and association requests.
+	SSID string
+	// Capability is carried by probe responses, beacons and association
+	// frames.
+	Capability CapabilityInfo
+	// Channel is the DS-parameter-set channel in beacons and probe
+	// responses.
+	Channel uint8
+	// BeaconIntervalTU is the beacon interval in time units (1 TU =
+	// 1024 µs) for beacons and probe responses.
+	BeaconIntervalTU uint16
+
+	// Auth fields.
+	AuthAlgorithm AuthAlgorithm
+	AuthSeq       uint16
+	Status        StatusCode
+
+	// Assoc response field.
+	AssociationID uint16
+
+	// Deauth field.
+	Reason ReasonCode
+}
+
+// IsBroadcastProbe reports whether f is a wildcard (broadcast) probe
+// request: one that discloses no SSID.
+func (f *Frame) IsBroadcastProbe() bool {
+	return f.Subtype == SubtypeProbeRequest && f.SSID == ""
+}
+
+// IsDirectedProbe reports whether f is a probe request naming a specific
+// SSID from the sender's preferred network list.
+func (f *Frame) IsDirectedProbe() bool {
+	return f.Subtype == SubtypeProbeRequest && f.SSID != ""
+}
+
+// String implements fmt.Stringer with a compact debug form.
+func (f *Frame) String() string {
+	switch f.Subtype {
+	case SubtypeProbeRequest:
+		if f.SSID == "" {
+			return fmt.Sprintf("probe-request[broadcast] %s", f.SA)
+		}
+		return fmt.Sprintf("probe-request[%q] %s", f.SSID, f.SA)
+	case SubtypeProbeResponse:
+		return fmt.Sprintf("probe-response[%q] %s->%s", f.SSID, f.SA, f.DA)
+	case SubtypeDeauth:
+		return fmt.Sprintf("deauth(reason=%d) %s->%s", f.Reason, f.SA, f.DA)
+	default:
+		return fmt.Sprintf("%s %s->%s", f.Subtype, f.SA, f.DA)
+	}
+}

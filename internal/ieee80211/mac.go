@@ -1,0 +1,66 @@
+// Package ieee80211 models the slice of IEEE 802.11 needed by the
+// City-Hunter reproduction: management frames (probe request/response,
+// authentication, association, deauthentication and beacons), the
+// information elements they carry, capability bits, binary wire
+// (un)marshalling, and airtime accounting.
+//
+// The wire layout follows the 802.11-2012 MAC header and management frame
+// body formats closely enough that frames round-trip byte-exactly, which the
+// property tests rely on. PHY concerns (modulation, retries, RTS/CTS) are
+// abstracted into a simple airtime model; see Airtime.
+package ieee80211
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// MAC is a 48-bit IEEE 802 MAC address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// ParseMAC parses a colon-separated MAC address such as
+// "02:00:5e:10:00:01".
+func ParseMAC(s string) (MAC, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return MAC{}, fmt.Errorf("ieee80211: parse MAC %q: want 6 octets, got %d", s, len(parts))
+	}
+	var m MAC
+	for i, p := range parts {
+		b, err := hex.DecodeString(p)
+		if err != nil || len(b) != 1 {
+			return MAC{}, fmt.Errorf("ieee80211: parse MAC %q: bad octet %q", s, p)
+		}
+		m[i] = b[0]
+	}
+	return m, nil
+}
+
+// RandomMAC returns a locally administered unicast MAC drawn from rng.
+// Modern phones randomise their probe MACs in exactly this form (the
+// locally-administered bit set, the multicast bit clear).
+func RandomMAC(rng *rand.Rand) MAC {
+	var m MAC
+	for i := range m {
+		m[i] = byte(rng.Intn(256))
+	}
+	m[0] = (m[0] | 0x02) &^ 0x01
+	return m
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsLocallyAdministered reports whether the locally-administered bit is set,
+// which is how randomised client MACs announce themselves.
+func (m MAC) IsLocallyAdministered() bool { return m[0]&0x02 != 0 }
+
+// String implements fmt.Stringer with the canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}

@@ -1,0 +1,85 @@
+package ieee80211
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseMAC(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    MAC
+		wantErr bool
+	}{
+		{give: "02:00:5e:10:00:01", want: MAC{0x02, 0x00, 0x5e, 0x10, 0x00, 0x01}},
+		{give: "ff:ff:ff:ff:ff:ff", want: BroadcastMAC},
+		{give: "00:00:00:00:00:00", want: MAC{}},
+		{give: "02:00:5e:10:00", wantErr: true},
+		{give: "02:00:5e:10:00:01:02", wantErr: true},
+		{give: "zz:00:5e:10:00:01", wantErr: true},
+		{give: "0200:5e:10:00:01:02", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseMAC(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		m := RandomMAC(rng)
+		back, err := ParseMAC(m.String())
+		if err != nil {
+			t.Fatalf("ParseMAC(%q): %v", m.String(), err)
+		}
+		if back != m {
+			t.Fatalf("round trip: %v != %v", back, m)
+		}
+	}
+}
+
+func TestRandomMACIsLocalUnicast(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		m := RandomMAC(rng)
+		if !m.IsLocallyAdministered() {
+			t.Fatalf("%v lacks locally-administered bit", m)
+		}
+		if m[0]&0x01 != 0 {
+			t.Fatalf("%v has multicast bit", m)
+		}
+		if m.IsBroadcast() {
+			t.Fatalf("random MAC is broadcast")
+		}
+	}
+}
+
+func TestRandomMACUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[MAC]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		m := RandomMAC(rng)
+		if seen[m] {
+			t.Fatalf("duplicate MAC %v after %d draws", m, i)
+		}
+		seen[m] = true
+	}
+}
+
+func TestIsBroadcast(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() {
+		t.Error("BroadcastMAC.IsBroadcast() = false")
+	}
+	if (MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xfe}).IsBroadcast() {
+		t.Error("near-broadcast reported broadcast")
+	}
+}

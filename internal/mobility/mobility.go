@@ -1,0 +1,320 @@
+// Package mobility models when people show up near the attacker, how long
+// they stay in radio range, how fast they move through it, and whether they
+// arrive alone or in social groups.
+//
+// These are the levers behind the paper's venue differences: in a canteen
+// people sit still for tens of minutes (many scan cycles, many SSIDs
+// tried), in a subway passage they traverse the radio disk in under a
+// minute (one or two scans, ≤40–80 SSIDs tried), and malls/stations mix
+// the two. Arrival rates follow hour-of-day profiles with the rush-hour
+// and meal-time peaks visible in Figure 5, and the share of people walking
+// in groups — whose phones share PNL entries — rises in rush hours, which
+// is what feeds the Freshness Buffer.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/geo"
+)
+
+// DwellModel samples how long a phone stays inside the attacker's radio
+// range.
+type DwellModel interface {
+	// SampleDwell draws one dwell duration.
+	SampleDwell(rng *rand.Rand) time.Duration
+}
+
+// StaticDwell is the canteen pattern: log-normally distributed sitting
+// times.
+type StaticDwell struct {
+	// Median dwell time.
+	Median time.Duration
+	// Sigma is the log-normal shape parameter.
+	Sigma float64
+	// Max clips the tail.
+	Max time.Duration
+}
+
+// SampleDwell implements DwellModel.
+func (s StaticDwell) SampleDwell(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(s.Median) * math.Exp(s.Sigma*rng.NormFloat64()))
+	if s.Max > 0 && d > s.Max {
+		d = s.Max
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// CorridorDwell is the passage pattern: the time to walk through the radio
+// disk at a uniformly drawn walking speed.
+type CorridorDwell struct {
+	// PathLength is the in-range walk distance in metres (≈ the radio
+	// disk diameter for a straight corridor).
+	PathLength float64
+	// SpeedMin and SpeedMax bound the walking speed in m/s.
+	SpeedMin, SpeedMax float64
+}
+
+// SampleDwell implements DwellModel.
+func (c CorridorDwell) SampleDwell(rng *rand.Rand) time.Duration {
+	speed := c.SpeedMin + rng.Float64()*(c.SpeedMax-c.SpeedMin)
+	if speed <= 0 {
+		speed = 1
+	}
+	return time.Duration(c.PathLength / speed * float64(time.Second))
+}
+
+// HybridDwell mixes a static and a moving population, the mall/station
+// pattern.
+type HybridDwell struct {
+	// StaticFraction of people behave like Static; the rest like Moving.
+	StaticFraction float64
+	Static         DwellModel
+	Moving         DwellModel
+}
+
+// SampleDwell implements DwellModel.
+func (h HybridDwell) SampleDwell(rng *rand.Rand) time.Duration {
+	if rng.Float64() < h.StaticFraction {
+		return h.Static.SampleDwell(rng)
+	}
+	return h.Moving.SampleDwell(rng)
+}
+
+// Profile is an hour-of-day arrival-rate profile: expected client arrivals
+// per minute for each hour slot starting at StartHour.
+type Profile struct {
+	// StartHour is the wall-clock hour of slot 0 (the paper tests run
+	// 8am–8pm, so 8).
+	StartHour int
+	// PerMinute holds the expected arrivals per minute per hour slot.
+	PerMinute []float64
+}
+
+// Validate checks the profile shape.
+func (p Profile) Validate() error {
+	if len(p.PerMinute) == 0 {
+		return fmt.Errorf("mobility: empty profile")
+	}
+	for i, r := range p.PerMinute {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("mobility: bad rate %v in slot %d", r, i)
+		}
+	}
+	return nil
+}
+
+// Slots returns the number of hour slots.
+func (p Profile) Slots() int { return len(p.PerMinute) }
+
+// Rate returns the arrivals-per-minute at an offset from the profile start.
+// Offsets beyond the profile return the last slot's rate.
+func (p Profile) Rate(offset time.Duration) float64 {
+	if len(p.PerMinute) == 0 {
+		return 0
+	}
+	slot := int(offset / time.Hour)
+	if slot < 0 {
+		slot = 0
+	}
+	if slot >= len(p.PerMinute) {
+		slot = len(p.PerMinute) - 1
+	}
+	return p.PerMinute[slot]
+}
+
+// SlotLabel returns a "8am-9am"-style label for a slot index.
+func (p Profile) SlotLabel(slot int) string {
+	h := p.StartHour + slot
+	return fmt.Sprintf("%s-%s", hourLabel(h), hourLabel(h+1))
+}
+
+func hourLabel(h int) string {
+	h = ((h % 24) + 24) % 24
+	switch {
+	case h == 0:
+		return "12am"
+	case h < 12:
+		return fmt.Sprintf("%dam", h)
+	case h == 12:
+		return "12pm"
+	default:
+		return fmt.Sprintf("%dpm", h-12)
+	}
+}
+
+// The four venue profiles, shaped after Fig. 5's bar heights (arrivals per
+// minute). Subway passages peak in the two rush hours; canteens at the
+// three meal times; malls build through the afternoon; stations blend
+// commuter peaks with all-day traffic.
+
+// PassageProfile is the subway-passage arrival profile, 8am–8pm.
+func PassageProfile() Profile {
+	return Profile{StartHour: 8, PerMinute: []float64{
+		42, 26, 14, 12, 16, 15, 13, 12, 14, 20, 38, 30,
+	}}
+}
+
+// CanteenProfile is the canteen arrival profile with meal peaks.
+func CanteenProfile() Profile {
+	return Profile{StartHour: 8, PerMinute: []float64{
+		14, 6, 4, 8, 22, 18, 6, 4, 5, 8, 19, 12,
+	}}
+}
+
+// MallProfile is the shopping-centre profile.
+func MallProfile() Profile {
+	return Profile{StartHour: 8, PerMinute: []float64{
+		6, 8, 10, 12, 16, 17, 15, 14, 15, 17, 18, 14,
+	}}
+}
+
+// StationProfile is the railway-station profile.
+func StationProfile() Profile {
+	return Profile{StartHour: 8, PerMinute: []float64{
+		30, 20, 12, 11, 13, 13, 12, 11, 12, 16, 28, 24,
+	}}
+}
+
+// Arrivals draws the arrival offsets of an inhomogeneous Poisson process
+// over [start, start+duration), using per-minute thinning against the
+// profile. Offsets are measured from the profile start and returned in
+// ascending order.
+func Arrivals(rng *rand.Rand, p Profile, start, duration time.Duration) ([]time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("mobility: negative duration")
+	}
+	var out []time.Duration
+	for minStart := start; minStart < start+duration; minStart += time.Minute {
+		binLen := time.Minute
+		if rem := start + duration - minStart; rem < binLen {
+			binLen = rem
+		}
+		mean := p.Rate(minStart) * binLen.Minutes()
+		for i, k := 0, poisson(rng, mean); i < k; i++ {
+			out = append(out, minStart+time.Duration(rng.Int63n(int64(binLen))))
+		}
+	}
+	sortDurations(out)
+	return out, nil
+}
+
+// GroupModel samples social group sizes. Index i of Probs is the relative
+// weight of group size i+1.
+type GroupModel struct {
+	Probs []float64
+}
+
+// DefaultGroups returns the baseline group-size mix: mostly singles, some
+// pairs, few larger groups.
+func DefaultGroups() GroupModel {
+	return GroupModel{Probs: []float64{0.62, 0.25, 0.09, 0.04}}
+}
+
+// RushGroups returns the rush-hour mix with more companionship (families
+// and colleagues commuting together, diners at meal time).
+func RushGroups() GroupModel {
+	return GroupModel{Probs: []float64{0.45, 0.33, 0.14, 0.08}}
+}
+
+// SampleSize draws one group size (≥ 1).
+func (g GroupModel) SampleSize(rng *rand.Rand) int {
+	total := 0.0
+	for _, p := range g.Probs {
+		total += p
+	}
+	if total <= 0 {
+		return 1
+	}
+	x := rng.Float64() * total
+	for i, p := range g.Probs {
+		if x < p {
+			return i + 1
+		}
+		x -= p
+	}
+	return len(g.Probs)
+}
+
+// Path is a straight walking path through the radio disk for moving
+// clients: entry and exit points plus the dwell time to cover it.
+type Path struct {
+	From, To geo.Point
+	Duration time.Duration
+}
+
+// At returns the position at an offset into the path (clamped to the ends).
+func (p Path) At(offset time.Duration) geo.Point {
+	if p.Duration <= 0 || offset >= p.Duration {
+		return p.To
+	}
+	if offset <= 0 {
+		return p.From
+	}
+	f := float64(offset) / float64(p.Duration)
+	return p.From.Add(p.To.Sub(p.From).Scale(f))
+}
+
+// CorridorPath builds a path crossing the radio disk of the given radius
+// centred at center: a chord at a random perpendicular offset.
+func CorridorPath(rng *rand.Rand, center geo.Point, radius float64, dwell time.Duration) Path {
+	// Perpendicular offset within ±radius/2 keeps the chord long enough
+	// to be in range for most of the dwell.
+	off := (rng.Float64() - 0.5) * radius
+	half := math.Sqrt(math.Max(radius*radius-off*off, 1))
+	from := center.Add(geo.Pt(-half, off))
+	to := center.Add(geo.Pt(half, off))
+	return Path{From: from, To: to, Duration: dwell}
+}
+
+// StaticPos draws a sitting position uniformly inside the disk of the
+// given radius around center.
+func StaticPos(rng *rand.Rand, center geo.Point, radius float64) geo.Point {
+	for {
+		x := (rng.Float64()*2 - 1) * radius
+		y := (rng.Float64()*2 - 1) * radius
+		if x*x+y*y <= radius*radius {
+			return center.Add(geo.Pt(x, y))
+		}
+	}
+}
+
+// poisson draws from a Poisson distribution with the given mean (Knuth's
+// method; the per-minute means here are modest).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 100000 {
+			return k
+		}
+	}
+}
+
+// sortDurations is an insertion sort; arrivals are generated almost sorted
+// (bin by bin), so this is effectively linear.
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}

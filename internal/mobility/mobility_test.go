@@ -1,0 +1,289 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+)
+
+func TestStaticDwell(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := StaticDwell{Median: 20 * time.Minute, Sigma: 0.5, Max: time.Hour}
+	sum := time.Duration(0)
+	for i := 0; i < 2000; i++ {
+		d := m.SampleDwell(rng)
+		if d < time.Second || d > time.Hour {
+			t.Fatalf("dwell %v outside [1s, 1h]", d)
+		}
+		sum += d
+	}
+	mean := sum / 2000
+	if mean < 10*time.Minute || mean > 40*time.Minute {
+		t.Errorf("mean dwell %v implausible for median 20m", mean)
+	}
+}
+
+func TestCorridorDwell(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := CorridorDwell{PathLength: 100, SpeedMin: 1.0, SpeedMax: 1.8}
+	for i := 0; i < 1000; i++ {
+		d := m.SampleDwell(rng)
+		loSecs, hiSecs := 100/1.8, 100/1.0
+		lo := time.Duration(loSecs * float64(time.Second))
+		hi := time.Duration(hiSecs * float64(time.Second))
+		if d < lo-time.Second || d > hi+time.Second {
+			t.Fatalf("dwell %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestCorridorDwellZeroSpeedGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := CorridorDwell{PathLength: 50}
+	if d := m.SampleDwell(rng); d <= 0 {
+		t.Errorf("dwell %v with degenerate speeds", d)
+	}
+}
+
+func TestHybridDwell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := HybridDwell{
+		StaticFraction: 0.5,
+		Static:         StaticDwell{Median: 30 * time.Minute, Sigma: 0.1, Max: time.Hour},
+		Moving:         CorridorDwell{PathLength: 100, SpeedMin: 1, SpeedMax: 2},
+	}
+	long, short := 0, 0
+	for i := 0; i < 1000; i++ {
+		if m.SampleDwell(rng) > 5*time.Minute {
+			long++
+		} else {
+			short++
+		}
+	}
+	if long < 300 || short < 300 {
+		t.Errorf("hybrid mix long/short = %d/%d, want both substantial", long, short)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{}).Validate(); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if err := (Profile{PerMinute: []float64{-1}}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Profile{PerMinute: []float64{math.NaN()}}).Validate(); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	for _, p := range []Profile{PassageProfile(), CanteenProfile(), MallProfile(), StationProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile invalid: %v", err)
+		}
+		if p.Slots() != 12 {
+			t.Errorf("built-in profile has %d slots, want 12 (8am-8pm)", p.Slots())
+		}
+	}
+}
+
+func TestProfileRate(t *testing.T) {
+	p := Profile{StartHour: 8, PerMinute: []float64{10, 20, 30}}
+	tests := []struct {
+		offset time.Duration
+		want   float64
+	}{
+		{0, 10},
+		{59 * time.Minute, 10},
+		{time.Hour, 20},
+		{2*time.Hour + 30*time.Minute, 30},
+		{99 * time.Hour, 30}, // clamps to last slot
+		{-time.Hour, 10},     // clamps to first
+	}
+	for _, tt := range tests {
+		if got := p.Rate(tt.offset); got != tt.want {
+			t.Errorf("Rate(%v) = %v, want %v", tt.offset, got, tt.want)
+		}
+	}
+}
+
+func TestSlotLabel(t *testing.T) {
+	p := PassageProfile()
+	tests := []struct {
+		slot int
+		want string
+	}{
+		{0, "8am-9am"},
+		{3, "11am-12pm"},
+		{4, "12pm-1pm"},
+		{11, "7pm-8pm"},
+	}
+	for _, tt := range tests {
+		if got := p.SlotLabel(tt.slot); got != tt.want {
+			t.Errorf("SlotLabel(%d) = %q, want %q", tt.slot, got, tt.want)
+		}
+	}
+}
+
+func TestProfilePeaks(t *testing.T) {
+	// The passage peaks in the rush hours; the canteen at lunch.
+	pass := PassageProfile()
+	if pass.PerMinute[0] <= pass.PerMinute[2] || pass.PerMinute[10] <= pass.PerMinute[5] {
+		t.Error("passage profile lacks rush-hour peaks")
+	}
+	canteen := CanteenProfile()
+	if canteen.PerMinute[4] <= canteen.PerMinute[2] {
+		t.Error("canteen profile lacks a lunch peak")
+	}
+}
+
+func TestArrivalsRateMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Profile{StartHour: 8, PerMinute: []float64{10}}
+	got, err := Arrivals(rng, p, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 600.0
+	if f := float64(len(got)); math.Abs(f-want) > 4*math.Sqrt(want) {
+		t.Errorf("arrivals = %d, want ≈%v", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	for _, a := range got {
+		if a < 0 || a >= time.Hour {
+			t.Fatalf("arrival %v outside window", a)
+		}
+	}
+}
+
+func TestArrivalsWindowOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := Profile{StartHour: 8, PerMinute: []float64{0, 60}} // all arrivals in hour 2
+	got, err := Arrivals(rng, p, 0, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got {
+		if a < time.Hour {
+			t.Fatalf("arrival %v during zero-rate hour", a)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("no arrivals in active hour")
+	}
+}
+
+func TestArrivalsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Arrivals(rng, Profile{}, 0, time.Hour); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := Arrivals(rng, PassageProfile(), 0, -time.Hour); err == nil {
+		t.Error("negative duration accepted")
+	}
+	got, err := Arrivals(rng, PassageProfile(), 0, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero duration: %v, %v", got, err)
+	}
+}
+
+func TestGroupModelDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := DefaultGroups()
+	counts := make(map[int]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		size := g.SampleSize(rng)
+		if size < 1 || size > 4 {
+			t.Fatalf("group size %d", size)
+		}
+		counts[size]++
+	}
+	if f := float64(counts[1]) / n; math.Abs(f-0.62) > 0.02 {
+		t.Errorf("singles fraction %.3f, want ≈0.62", f)
+	}
+	// Rush hours have fewer singles.
+	rush := RushGroups()
+	rushSingles := 0
+	for i := 0; i < n; i++ {
+		if rush.SampleSize(rng) == 1 {
+			rushSingles++
+		}
+	}
+	if rushSingles >= counts[1] {
+		t.Error("rush-hour groups not larger than baseline")
+	}
+}
+
+func TestGroupModelDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if got := (GroupModel{}).SampleSize(rng); got != 1 {
+		t.Errorf("empty model size = %d, want 1", got)
+	}
+	if got := (GroupModel{Probs: []float64{0, 0}}).SampleSize(rng); got != 1 {
+		t.Errorf("zero-weight model size = %d, want 1", got)
+	}
+}
+
+func TestPathAt(t *testing.T) {
+	p := Path{From: geo.Pt(0, 0), To: geo.Pt(100, 0), Duration: 100 * time.Second}
+	if got := p.At(0); got != geo.Pt(0, 0) {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := p.At(50 * time.Second); got != geo.Pt(50, 0) {
+		t.Errorf("At(50s) = %v", got)
+	}
+	if got := p.At(200 * time.Second); got != geo.Pt(100, 0) {
+		t.Errorf("At(beyond) = %v", got)
+	}
+	if got := p.At(-time.Second); got != geo.Pt(0, 0) {
+		t.Errorf("At(negative) = %v", got)
+	}
+	zero := Path{From: geo.Pt(1, 1), To: geo.Pt(2, 2)}
+	if got := zero.At(0); got != geo.Pt(2, 2) {
+		t.Errorf("zero-duration path At = %v", got)
+	}
+}
+
+func TestCorridorPathCrossesDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	center := geo.Pt(500, 500)
+	for i := 0; i < 200; i++ {
+		p := CorridorPath(rng, center, 50, time.Minute)
+		// Midpoint is within the disk.
+		mid := p.At(30 * time.Second)
+		if mid.Dist(center) > 50 {
+			t.Fatalf("path midpoint %v outside disk", mid)
+		}
+		// Endpoints are on (or near) the disk edge.
+		if d := p.From.Dist(center); d > 51 {
+			t.Fatalf("entry %v too far: %v", p.From, d)
+		}
+	}
+}
+
+func TestStaticPosInsideDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	center := geo.Pt(100, 100)
+	for i := 0; i < 500; i++ {
+		p := StaticPos(rng, center, 30)
+		if p.Dist(center) > 30 {
+			t.Fatalf("static pos %v outside disk", p)
+		}
+	}
+}
+
+func TestHourLabelWraps(t *testing.T) {
+	p := Profile{StartHour: 23, PerMinute: []float64{1, 1}}
+	if got := p.SlotLabel(0); got != "11pm-12am" {
+		t.Errorf("label = %q", got)
+	}
+	if got := p.SlotLabel(1); got != "12am-1am" {
+		t.Errorf("label = %q", got)
+	}
+}

@@ -1,0 +1,112 @@
+// Package paper records the reference numbers reported in "City-Hunter:
+// Hunting Smartphones in Urban Areas" (ICDCS 2017) as typed constants, so
+// every band check and report in the repository compares against a single
+// source of truth instead of scattered literals.
+//
+// Values are transcribed from the paper's tables and running text; see
+// EXPERIMENTS.md for how closely the reproduction lands on each.
+package paper
+
+// TableIRow is one attacker row of Table I.
+type TableIRow struct {
+	Attack           string
+	Clients          int
+	Direct           int
+	Broadcast        int
+	ConnectedDirect  int
+	ConnectedBcast   int
+	HitRate          float64
+	BroadcastHitRate float64
+}
+
+// TableI reports the KARMA vs MANA canteen comparison.
+var TableI = []TableIRow{
+	{Attack: "KARMA", Clients: 614, Direct: 85, Broadcast: 529,
+		ConnectedDirect: 24, ConnectedBcast: 0, HitRate: 0.039, BroadcastHitRate: 0},
+	{Attack: "MANA", Clients: 688, Direct: 103, Broadcast: 585,
+		ConnectedDirect: 27, ConnectedBcast: 19, HitRate: 0.066, BroadcastHitRate: 0.03},
+}
+
+// TableII reports the MANA vs preliminary City-Hunter canteen comparison.
+var TableII = []TableIRow{
+	{Attack: "MANA", Clients: 688, Direct: 103, Broadcast: 585,
+		ConnectedDirect: 27, ConnectedBcast: 19, HitRate: 0.066, BroadcastHitRate: 0.03},
+	{Attack: "City-Hunter (preliminary)", Clients: 626, Direct: 85, Broadcast: 541,
+		ConnectedDirect: 34, ConnectedBcast: 86, HitRate: 0.191, BroadcastHitRate: 0.159},
+}
+
+// TableIII reports the preliminary City-Hunter subway-passage deployment.
+var TableIII = TableIRow{
+	Attack: "City-Hunter (preliminary)", Clients: 1356, Direct: 178, Broadcast: 1178,
+	ConnectedDirect: 37, ConnectedBcast: 49, HitRate: 0.063, BroadcastHitRate: 0.041,
+}
+
+// TableIV lists the paper's two top-5 SSID rankings.
+var TableIV = struct {
+	ByAPCount []string
+	ByHeat    []string
+}{
+	ByAPCount: []string{
+		"-Free HKBN Wi-Fi-", "7-Eleven Free Wifi", "-Circle K Free Wi-Fi-",
+		"CSL", "CMCC-WEB",
+	},
+	ByHeat: []string{
+		"Free Public WiFi", "#HKAirport Free WiFi", "-Free HKBN Wi-Fi-",
+		"FREE 3Y5 AdWiFi", "7-Eleven Free Wifi",
+	},
+}
+
+// Figure 2 summary values.
+const (
+	// Fig2aMeanSSIDsSent is the average number of SSIDs sent to each
+	// connected canteen client (range 20-250).
+	Fig2aMeanSSIDsSent = 130
+	Fig2aMinSSIDsSent  = 20
+	Fig2aMaxSSIDsSent  = 250
+	// Fig2bOneBatchShare and Fig2bTwoBatchShare are the fractions of
+	// passage clients that saw 40 and 80 SSIDs respectively.
+	Fig2bOneBatchShare = 0.70
+	Fig2bTwoBatchShare = 0.22
+)
+
+// Figure 5 venue-average broadcast hit rates.
+var Fig5AverageHb = map[string]float64{
+	"subway passage":  0.12,
+	"canteen":         0.1786,
+	"shopping center": 0.14,
+	"railway station": 0.166,
+}
+
+// Figure 6 ratio bands (min, max) as reported in the running text.
+var (
+	// Fig6SourceRatioPassage is WiGLE : direct-probe hits in the passage.
+	Fig6SourceRatioPassage = [2]float64{3.5, 5.1}
+	// Fig6BufferRatioPassage is popularity : freshness in the passage.
+	Fig6BufferRatioPassage = [2]float64{6.3, 9.9}
+	// Fig6BufferRatioCanteen is popularity : freshness in the canteen.
+	Fig6BufferRatioCanteen = [2]float64{3.0, 5.2}
+)
+
+// Headline claims from the abstract.
+const (
+	// HeadlineHbMin and HeadlineHbMax bound City-Hunter's broadcast hit
+	// rate across venues.
+	HeadlineHbMin = 0.12
+	HeadlineHbMax = 0.18
+	// ImprovementOverMANAMin/Max bound the claimed h_b improvement factor.
+	ImprovementOverMANAMin = 4.0
+	ImprovementOverMANAMax = 8.0
+)
+
+// Protocol constants the analysis rests on (§III-A).
+const (
+	// ResponsesPerScan is how many probe responses one AP can land in a
+	// client's scan window.
+	ResponsesPerScan = 40
+	// WiGLETopCityWide and WiGLENearby are the database seeding sizes.
+	WiGLETopCityWide = 200
+	WiGLENearby      = 100
+	// GhostListSize and GhostPicks parameterise §IV-C.
+	GhostListSize = 20
+	GhostPicks    = 2
+)

@@ -1,0 +1,60 @@
+package paper
+
+import "testing"
+
+// TestInternalConsistency cross-checks the transcribed numbers against each
+// other: the rates printed in the paper must match the counts.
+func TestInternalConsistency(t *testing.T) {
+	rows := append(append([]TableIRow{}, TableI...), TableII...)
+	rows = append(rows, TableIII)
+	for _, r := range rows {
+		if r.Direct+r.Broadcast != r.Clients {
+			t.Errorf("%s: direct %d + broadcast %d != clients %d",
+				r.Attack, r.Direct, r.Broadcast, r.Clients)
+		}
+		h := float64(r.ConnectedDirect+r.ConnectedBcast) / float64(r.Clients)
+		if diff := h - r.HitRate; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%s: recomputed h %.3f vs printed %.3f", r.Attack, h, r.HitRate)
+		}
+		hb := float64(r.ConnectedBcast) / float64(r.Broadcast)
+		if diff := hb - r.BroadcastHitRate; diff > 0.006 || diff < -0.006 {
+			t.Errorf("%s: recomputed h_b %.3f vs printed %.3f", r.Attack, hb, r.BroadcastHitRate)
+		}
+	}
+}
+
+func TestRankingsComplete(t *testing.T) {
+	if len(TableIV.ByAPCount) != 5 || len(TableIV.ByHeat) != 5 {
+		t.Fatal("Table IV rankings must have 5 entries each")
+	}
+	// The heat ranking promotes exactly the two SSIDs the paper calls out.
+	promoted := map[string]bool{}
+	inCount := map[string]bool{}
+	for _, s := range TableIV.ByAPCount {
+		inCount[s] = true
+	}
+	for _, s := range TableIV.ByHeat {
+		if !inCount[s] {
+			promoted[s] = true
+		}
+	}
+	if !promoted["#HKAirport Free WiFi"] || !promoted["Free Public WiFi"] {
+		t.Errorf("promoted set = %v", promoted)
+	}
+}
+
+func TestBandsSane(t *testing.T) {
+	if HeadlineHbMin >= HeadlineHbMax {
+		t.Error("headline band inverted")
+	}
+	for name, hb := range Fig5AverageHb {
+		if hb < HeadlineHbMin-0.001 || hb > HeadlineHbMax+0.001 {
+			t.Errorf("%s average %.3f outside the abstract's band", name, hb)
+		}
+	}
+	for _, band := range [][2]float64{Fig6SourceRatioPassage, Fig6BufferRatioPassage, Fig6BufferRatioCanteen} {
+		if band[0] >= band[1] {
+			t.Errorf("band %v inverted", band)
+		}
+	}
+}

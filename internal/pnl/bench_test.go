@@ -1,0 +1,54 @@
+package pnl
+
+import (
+	"math/rand"
+	"testing"
+
+	"cityhunter/internal/citygen"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/heatmap"
+)
+
+func benchModel(b *testing.B) *Model {
+	b.Helper()
+	cfg := citygen.DefaultConfig(1)
+	cfg.ResidentialAPs = 2000
+	cfg.CafeAPs = 400
+	cfg.Photos = 10000
+	city, err := citygen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hm, err := heatmap.FromPhotos(city.Bounds, 250, city.Photos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(city.DB, hm, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkNewList(b *testing.B) {
+	m := benchModel(b)
+	rng := rand.New(rand.NewSource(1))
+	at := geo.Pt(2600, 2400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NewList(rng, at)
+	}
+}
+
+func BenchmarkNewCompanionList(b *testing.B) {
+	m := benchModel(b)
+	rng := rand.New(rand.NewSource(1))
+	at := geo.Pt(2600, 2400)
+	leader := m.NewList(rng, at)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NewCompanionList(rng, at, leader)
+	}
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cityhunter"
+	"cityhunter/internal/experiments"
+)
+
+var (
+	worldOnce sync.Once
+	worldVal  *cityhunter.World
+	worldErr  error
+)
+
+func testWorld(t *testing.T) *cityhunter.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		worldVal, worldErr = cityhunter.NewWorld(cityhunter.WithSeed(1))
+	})
+	if worldErr != nil {
+		t.Fatalf("NewWorld: %v", worldErr)
+	}
+	return worldVal
+}
+
+func TestWriteFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	w := testWorld(t)
+	opts := experiments.Options{SlotDuration: 4 * time.Minute, ArrivalScale: 0.5}
+
+	t1, err := experiments.Table1(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := experiments.Table4(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := experiments.Figure2(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridOpts := opts
+	gridOpts.SlotDuration = 2 * time.Minute
+	grid, err := experiments.Grid(w, gridOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	err = Write(&b, Inputs{
+		Seed:    1,
+		Table1:  t1,
+		Table4:  t4,
+		Figure2: f2,
+		Grid:    grid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Measured results",
+		"## Headline",
+		"Table I",
+		"Table IV",
+		"Figure 2",
+		"Figure 6",
+		"| subway passage |",
+		"KARMA",
+		"reproduced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// No stray formatting placeholders.
+	if strings.Contains(out, "%!") {
+		t.Error("fmt placeholder leaked into report")
+	}
+}
+
+func TestWriteEmptyInputs(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, Inputs{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "seed 7") {
+		t.Error("header missing seed")
+	}
+}
+
+func TestRatioRendering(t *testing.T) {
+	if got := ratio(10, 2); got != "5.0:1" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(3, 0); got != "all:0" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(0, 0); got != "-" {
+		t.Errorf("ratio = %q", got)
+	}
+}

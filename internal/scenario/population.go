@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/client"
+	"cityhunter/internal/core"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/mobility"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/sim"
+	"cityhunter/internal/stats"
+)
+
+// member is one phone in the crowd with its schedule.
+type member struct {
+	c        *client.Client
+	arrived  time.Duration
+	departAt time.Duration
+	direct   bool
+}
+
+// population creates phones on arrival, moves the walkers, and departs
+// everyone on schedule.
+type population struct {
+	engine *sim.Engine
+	medium *sim.Medium
+	rng    *rand.Rand
+	model  *pnl.Model
+	cfg    Config
+
+	members []*member
+	nextMAC uint32
+}
+
+func newPopulation(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, model *pnl.Model, cfg Config) *population {
+	return &population{engine: engine, medium: medium, rng: rng, model: model, cfg: cfg}
+}
+
+// mac hands out unique, deterministic client MACs (locally administered).
+func (p *population) mac() ieee80211.MAC {
+	p.nextMAC++
+	n := p.nextMAC
+	return ieee80211.MAC{0x02, 0x00, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// spawnGroup schedules a social group of the given size to arrive at the
+// offset. Group members walk together: same movement type, correlated
+// dwell, shared PNL entries.
+func (p *population) spawnGroup(at time.Duration, size int, horizon time.Duration) {
+	p.engine.At(at, func() {
+		venue := p.cfg.Venue
+		moving := p.rng.Float64() < venue.MovingFraction
+		var dwell time.Duration
+		if moving {
+			dwell = venue.MovingDwell.SampleDwell(p.rng)
+		} else {
+			dwell = venue.StaticDwell.SampleDwell(p.rng)
+		}
+
+		var leaderPNL pnl.List
+		var path mobility.Path
+		if moving {
+			path = mobility.CorridorPath(p.rng, venue.Position, venue.RadioRange, dwell)
+		}
+		for i := 0; i < size; i++ {
+			// Companions stay within ±10 % of the leader's dwell.
+			d := dwell
+			if i > 0 {
+				d = time.Duration(float64(dwell) * (0.9 + 0.2*p.rng.Float64()))
+			}
+			var list pnl.List
+			if i == 0 {
+				list = p.model.NewList(p.rng, venue.Position)
+				leaderPNL = list
+			} else {
+				list = p.model.NewCompanionList(p.rng, venue.Position, leaderPNL)
+			}
+			p.spawnMember(list, moving, path, d)
+		}
+		_ = horizon
+	})
+}
+
+func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path, dwell time.Duration) {
+	now := p.engine.Now()
+	direct := p.rng.Float64() < p.cfg.DirectProberFraction
+	if direct {
+		// Unsafe phones skew towards more remembered open networks.
+		list = p.model.AugmentUnsafe(p.rng, list)
+	}
+	cfg := client.Config{
+		MAC:           p.mac(),
+		PNL:           list,
+		DirectProber:  direct,
+		ScanInterval:  time.Duration(float64(p.cfg.ScanInterval) * (0.7 + 0.6*p.rng.Float64())),
+		CanaryProbing: p.cfg.CanaryFraction > 0 && p.rng.Float64() < p.cfg.CanaryFraction,
+		RandomizeMAC:  p.cfg.RandomizeMACFraction > 0 && p.rng.Float64() < p.cfg.RandomizeMACFraction,
+	}
+	if p.cfg.PreconnectedFraction > 0 && p.rng.Float64() < p.cfg.PreconnectedFraction {
+		cfg.PreconnectedBSSID = legitAPMAC
+	}
+	c, err := client.New(p.engine, p.medium, p.rng, cfg)
+	if err != nil {
+		// Only reachable through programming errors (zero MAC); drop the
+		// member rather than corrupt the run.
+		return
+	}
+	if moving {
+		c.SetPos(path.At(0))
+	} else {
+		c.SetPos(mobility.StaticPos(p.rng, p.cfg.Venue.Position, p.cfg.Venue.RadioRange*0.9))
+	}
+	if err := c.Start(); err != nil {
+		return
+	}
+
+	m := &member{c: c, arrived: now, departAt: now + dwell, direct: cfg.DirectProber}
+	p.members = append(p.members, m)
+
+	if moving {
+		p.scheduleMove(m, path)
+	}
+	p.engine.At(m.departAt, func() { c.Depart() })
+}
+
+// scheduleMove updates a walker's position every 2 s along its path.
+func (p *population) scheduleMove(m *member, path mobility.Path) {
+	const step = 2 * time.Second
+	var tick func()
+	tick = func() {
+		if m.c.State() == client.StateDeparted {
+			return
+		}
+		m.c.SetPos(path.At(p.engine.Now() - m.arrived))
+		p.engine.Schedule(step, tick)
+	}
+	p.engine.Schedule(step, tick)
+}
+
+// outcomes summarises every member after the run.
+func (p *population) outcomes(now time.Duration, eng *core.Engine) []stats.ClientOutcome {
+	out := make([]stats.ClientOutcome, 0, len(p.members))
+	for _, m := range p.members {
+		st := m.c.Stats
+		departed := m.departAt
+		if departed > now {
+			departed = now
+		}
+		o := stats.ClientOutcome{
+			Arrived:      m.arrived,
+			Departed:     departed,
+			DirectProber: m.direct,
+			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
+			Connected:    st.Connected && st.ConnectedTo == attackerMAC,
+			ConnectedAt:  st.ConnectedAt,
+		}
+		if eng != nil {
+			o.SSIDsSent = eng.SentCount(m.c.Addr())
+		}
+		out = append(out, o)
+	}
+	return out
+}

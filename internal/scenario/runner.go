@@ -1,0 +1,438 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/ap"
+	"cityhunter/internal/attack"
+	"cityhunter/internal/citygen"
+	"cityhunter/internal/client"
+	"cityhunter/internal/core"
+	"cityhunter/internal/detect"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/heatmap"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/mobility"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/sim"
+	"cityhunter/internal/stats"
+	"cityhunter/internal/trace"
+	"cityhunter/internal/wigle"
+)
+
+// AttackKind selects which attacker a run deploys.
+type AttackKind int
+
+// Attack kinds.
+const (
+	// KARMA answers directed probes only.
+	KARMA AttackKind = iota + 1
+	// MANA harvests and replays directed-probe SSIDs.
+	MANA
+	// CityHunterPreliminary is the §III design (rotation + WiGLE).
+	CityHunterPreliminary
+	// CityHunter is the full §IV design.
+	CityHunter
+	// KnownBeacons is the wifiphisher-style related attack the paper's
+	// family belongs to: instead of answering probes, the attacker
+	// broadcasts forged beacons cycling through the WiGLE-derived lure
+	// list, hoping passively scanning phones recognise one. It tries
+	// only the one or two SSIDs whose beacons land inside each phone's
+	// scan window — no per-client rotation is possible.
+	KnownBeacons
+)
+
+// String implements fmt.Stringer.
+func (k AttackKind) String() string {
+	switch k {
+	case KARMA:
+		return "KARMA"
+	case MANA:
+		return "MANA"
+	case CityHunterPreliminary:
+		return "City-Hunter (preliminary)"
+	case CityHunter:
+		return "City-Hunter"
+	case KnownBeacons:
+		return "Known Beacons"
+	default:
+		return "unknown attack"
+	}
+}
+
+// Config assembles one experiment.
+type Config struct {
+	// City is the synthetic environment; HeatMap its photo heat map.
+	City    *citygen.City
+	HeatMap *heatmap.Map
+	// PNL generates phone preferred-network lists; nil builds one with
+	// pnl.DefaultConfig.
+	PNL *pnl.Model
+	// Venue is the deployment site.
+	Venue Venue
+	// Attack selects the strategy.
+	Attack AttackKind
+	// CoreConfig overrides the City-Hunter engine configuration; nil
+	// uses core.DefaultConfig for the mode implied by Attack.
+	CoreConfig *core.Config
+	// WiGLE is the attacker's offline database. nil uses City.DB — i.e.
+	// perfect coverage. Pass a wigle.DB.SampleCrowdsourced result to
+	// model the real service's gaps.
+	WiGLE *wigle.DB
+	// DirectProberFraction is the share of unsafe phones (paper ≈15 %).
+	DirectProberFraction float64
+	// ScanInterval is the mean phone scan period.
+	ScanInterval time.Duration
+	// PreconnectedFraction of phones arrive already associated to the
+	// venue's legitimate AP and stay silent until deauthenticated.
+	PreconnectedFraction float64
+	// EnableDeauth arms the §V-B deauthentication extension.
+	EnableDeauth bool
+	// CautiousMirror makes the attacker mirror only already-known SSIDs,
+	// its counter-move against canary probing.
+	CautiousMirror bool
+	// CanaryFraction is the share of phones running the canary-probe
+	// evil-twin detector (see internal/detect); they unmask and ignore
+	// the attacker.
+	CanaryFraction float64
+	// RandomizeMACFraction is the share of phones rotating their probe
+	// MAC every scan (the modern OS default while unassociated).
+	RandomizeMACFraction float64
+	// Sentinel attaches a passive many-SSIDs-one-BSSID detector at the
+	// venue; Result.Sentinel exposes its findings.
+	Sentinel bool
+	// Trace attaches a promiscuous frame recorder at the venue;
+	// Result.Trace exposes the capture. Long runs capture millions of
+	// frames — the recorder is bounded to 2^20 entries.
+	Trace bool
+	// FrameLoss drops each frame delivery independently with this
+	// probability — fading, collisions and interference the disk model
+	// otherwise ignores. 0 (the default) is the calibrated setting.
+	FrameLoss float64
+	// ArrivalScale multiplies the venue's arrival rates (a speed knob
+	// for tests; 0 means 1).
+	ArrivalScale float64
+	// SampleEvery sets the engine state-sampling period (0 disables).
+	SampleEvery time.Duration
+	// Seed drives all randomness in the run.
+	Seed int64
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Venue and Slot identify the experiment; SlotLabel is "8am-9am"
+	// style.
+	Venue     string
+	Slot      int
+	SlotLabel string
+	Duration  time.Duration
+	// Attack names the strategy.
+	Attack string
+	// Outcomes holds one record per phone that entered the area.
+	Outcomes []stats.ClientOutcome
+	// Tally aggregates them the way the paper's tables do.
+	Tally stats.Tally
+	// Report is the attacker's own accounting (heard probes etc.).
+	Report attack.Report
+	// Victims lists captures in order.
+	Victims []attack.Victim
+	// Engine exposes the City-Hunter internals for breakdowns; nil for
+	// KARMA/MANA runs.
+	Engine *core.Engine
+	// Mana exposes the MANA database for Fig. 1; nil otherwise.
+	Mana *attack.Mana
+	// HitsByVictimDirect maps victims' MACs to their direct-prober flag,
+	// for Fig. 6 filtering.
+	HitsByVictimDirect map[ieee80211.MAC]bool
+	// Sentinel is the passive detector, when Config.Sentinel was set.
+	Sentinel *detect.Sentinel
+	// Trace is the frame capture, when Config.Trace was set.
+	Trace *trace.Monitor
+	// CanaryDetections sums the clients' canary unmaskings.
+	CanaryDetections int
+}
+
+// Breakdown returns the Fig. 6 classification of the SSIDs that hit
+// broadcast-probing clients. It is only meaningful for City-Hunter runs.
+func (r *Result) Breakdown() stats.Breakdown {
+	if r.Engine == nil {
+		return stats.Breakdown{}
+	}
+	return stats.NewBreakdown(r.Engine.Hits(), func(h core.HitRecord) bool {
+		return r.HitsByVictimDirect[h.MAC]
+	})
+}
+
+// attackerMAC is the attacker's fixed BSSID in every scenario.
+var attackerMAC = ieee80211.MAC{0x0a, 0xc1, 0x7f, 0x00, 0x00, 0x01}
+
+// legitAPMAC is the venue AP used for pre-connected phones.
+var legitAPMAC = ieee80211.MAC{0x0a, 0x1e, 0x61, 0x70, 0x00, 0x01}
+
+// Run executes one deployment: the venue's slot-th hour-long test (the
+// paper runs 8am–8pm, one test per hour slot, database re-initialised each
+// time). duration may be shorter than an hour for quick runs.
+func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
+	if cfg.City == nil || cfg.HeatMap == nil {
+		return nil, fmt.Errorf("scenario: city and heat map are required")
+	}
+	if slot < 0 || slot >= cfg.Venue.Profile.Slots() {
+		return nil, fmt.Errorf("scenario: slot %d outside profile (0..%d)", slot, cfg.Venue.Profile.Slots()-1)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("scenario: non-positive duration %v", duration)
+	}
+	if cfg.DirectProberFraction < 0 || cfg.DirectProberFraction > 1 {
+		return nil, fmt.Errorf("scenario: direct prober fraction %v outside [0,1]", cfg.DirectProberFraction)
+	}
+	if cfg.PreconnectedFraction < 0 || cfg.PreconnectedFraction > 1 {
+		return nil, fmt.Errorf("scenario: preconnected fraction %v outside [0,1]", cfg.PreconnectedFraction)
+	}
+	if cfg.CanaryFraction < 0 || cfg.CanaryFraction > 1 {
+		return nil, fmt.Errorf("scenario: canary fraction %v outside [0,1]", cfg.CanaryFraction)
+	}
+	if cfg.RandomizeMACFraction < 0 || cfg.RandomizeMACFraction > 1 {
+		return nil, fmt.Errorf("scenario: randomize-MAC fraction %v outside [0,1]", cfg.RandomizeMACFraction)
+	}
+	if cfg.FrameLoss < 0 || cfg.FrameLoss >= 1 {
+		return nil, fmt.Errorf("scenario: frame loss %v outside [0,1)", cfg.FrameLoss)
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = client.DefaultScanInterval
+	}
+	if cfg.ArrivalScale <= 0 {
+		cfg.ArrivalScale = 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	engine := sim.NewEngine()
+	var mediumOpts []sim.MediumOption
+	if cfg.FrameLoss > 0 {
+		mediumOpts = append(mediumOpts, sim.WithFrameLoss(cfg.FrameLoss, cfg.Seed+5))
+	}
+	medium := sim.NewMedium(engine, cfg.Venue.RadioRange, mediumOpts...)
+
+	pnlModel := cfg.PNL
+	if pnlModel == nil {
+		var err error
+		pnlModel, err = pnl.NewModel(cfg.City.DB, cfg.HeatMap, pnl.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("scenario: build pnl model: %w", err)
+		}
+	}
+
+	strategy, chEngine, mana, err := buildStrategy(cfg, pnlModel)
+	if err != nil {
+		return nil, err
+	}
+	var beacons []string
+	respondToDirect := true
+	if cfg.Attack == KnownBeacons {
+		respondToDirect = false
+		beacons, err = lureList(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	maxReplies := 0 // 0 → the protocol default of 40
+	if chEngine != nil && cfg.CoreConfig != nil {
+		// Ablations that shrink or grow the engine's reply budget need
+		// the base station to follow suit.
+		maxReplies = cfg.CoreConfig.ReplyBudget
+	}
+	atk, err := attack.New(engine, medium, strategy, attack.Config{
+		MAC:                 attackerMAC,
+		Pos:                 cfg.Venue.Position,
+		Channel:             6,
+		MaxBroadcastReplies: maxReplies,
+		RespondToDirect:     respondToDirect,
+		CautiousMirror:      cfg.CautiousMirror,
+		Beacons:             beacons,
+		// wifiphisher blasts known beacons as fast as the card allows;
+		// 2 ms pacing ≈ 500 beacons/s at ~12% channel utilisation.
+		BeaconEvery: 2 * time.Millisecond,
+		Deauth:      attack.DeauthConfig{Enabled: cfg.EnableDeauth, Interval: 5 * time.Second},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := atk.Start(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	if cfg.PreconnectedFraction > 0 {
+		legit, err := ap.New(engine, medium, ap.Config{
+			MAC:     legitAPMAC,
+			SSID:    "Venue Official WiFi", // outside the PNL universe
+			Pos:     cfg.Venue.Position.Add(geo.Pt(15, 0)),
+			Channel: 6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := legit.Start(); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	var sentinel *detect.Sentinel
+	if cfg.Sentinel {
+		sentinel = detect.NewSentinel(engine,
+			ieee80211.MAC{0x0a, 0xde, 0x7e, 0xc7, 0x00, 0x01},
+			cfg.Venue.Position.Add(geo.Pt(-10, 5)), 0)
+		if err := medium.AttachPromiscuous(sentinel); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	var monitor *trace.Monitor
+	if cfg.Trace {
+		monitor = trace.NewMonitor(engine,
+			ieee80211.MAC{0x0a, 0x28, 0xca, 0x72, 0x00, 0x01},
+			cfg.Venue.Position.Add(geo.Pt(10, -5)))
+		monitor.MaxEntries = 1 << 20
+		if err := medium.AttachPromiscuous(monitor); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	// Periodic engine sampling for the time-series figures.
+	if cfg.SampleEvery > 0 {
+		var sample func()
+		sample = func() {
+			if chEngine != nil {
+				chEngine.SampleState(engine.Now())
+			}
+			if mana != nil {
+				mana.SampleSize(engine.Now())
+			}
+			engine.Schedule(cfg.SampleEvery, sample)
+		}
+		engine.Schedule(0, sample)
+	}
+
+	// Arrivals for this slot only; offsets are measured from slot start.
+	slotStart := time.Duration(slot) * time.Hour
+	profile := cfg.Venue.Profile
+	if cfg.ArrivalScale != 1 {
+		scaled := make([]float64, len(profile.PerMinute))
+		for i, r := range profile.PerMinute {
+			scaled[i] = r * cfg.ArrivalScale
+		}
+		profile = mobility.Profile{StartHour: profile.StartHour, PerMinute: scaled}
+	}
+	arrivals, err := mobility.Arrivals(rng, profile, slotStart, duration)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	pop := newPopulation(engine, medium, rng, pnlModel, cfg)
+	groups := cfg.Venue.Groups(slot)
+	for i := 0; i < len(arrivals); {
+		at := arrivals[i] - slotStart
+		size := groups.SampleSize(rng)
+		if size > len(arrivals)-i {
+			size = len(arrivals) - i
+		}
+		pop.spawnGroup(at, size, duration)
+		i += size
+	}
+
+	engine.Run(duration)
+
+	canaryDetections := 0
+	for _, m := range pop.members {
+		canaryDetections += m.c.Stats.CanaryDetections
+	}
+	attackName := strategy.Name()
+	if cfg.Attack == KnownBeacons {
+		// The beaconing attacker reuses the silent KARMA strategy for
+		// its (absent) probe handling; report the kind instead.
+		attackName = cfg.Attack.String()
+	}
+	res := &Result{
+		Venue:              cfg.Venue.Name,
+		Slot:               slot,
+		SlotLabel:          cfg.Venue.Profile.SlotLabel(slot),
+		Duration:           duration,
+		Attack:             attackName,
+		Outcomes:           pop.outcomes(engine.Now(), chEngine),
+		Report:             atk.Report(),
+		Victims:            atk.Victims(),
+		Engine:             chEngine,
+		Mana:               mana,
+		HitsByVictimDirect: make(map[ieee80211.MAC]bool),
+		Sentinel:           sentinel,
+		Trace:              monitor,
+		CanaryDetections:   canaryDetections,
+	}
+	res.Tally = stats.NewTally(res.Outcomes)
+	for _, v := range res.Victims {
+		res.HitsByVictimDirect[v.MAC] = v.DirectProber
+	}
+	return res, nil
+}
+
+// lureList derives the known-beacons SSID list: the same WiGLE seeding
+// City-Hunter starts from, in weight order.
+func lureList(cfg Config) ([]string, error) {
+	ccfg := core.DefaultConfig(core.ModePreliminary)
+	seedDB := cfg.WiGLE
+	if seedDB == nil {
+		seedDB = cfg.City.DB
+	}
+	eng, err := core.NewEngine(ccfg, &core.SeedData{
+		DB:       seedDB,
+		HeatMap:  cfg.HeatMap,
+		Position: cfg.Venue.Position,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: build lure list: %w", err)
+	}
+	entries := eng.TopEntries(eng.DBSize())
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.SSID
+	}
+	return out, nil
+}
+
+// buildStrategy constructs the configured attacker strategy.
+func buildStrategy(cfg Config, pnlModel *pnl.Model) (attack.Strategy, *core.Engine, *attack.Mana, error) {
+	switch cfg.Attack {
+	case KARMA, KnownBeacons:
+		return attack.NewKarma(), nil, nil, nil
+	case MANA:
+		m := attack.NewMana()
+		return m, nil, m, nil
+	case CityHunterPreliminary, CityHunter:
+		mode := core.ModeFull
+		if cfg.Attack == CityHunterPreliminary {
+			mode = core.ModePreliminary
+		}
+		ccfg := core.DefaultConfig(mode)
+		if cfg.CoreConfig != nil {
+			ccfg = *cfg.CoreConfig
+		}
+		if ccfg.Seed == 0 {
+			ccfg.Seed = cfg.Seed + 1
+		}
+		seedDB := cfg.WiGLE
+		if seedDB == nil {
+			seedDB = cfg.City.DB
+		}
+		eng, err := core.NewEngine(ccfg, &core.SeedData{
+			DB:       seedDB,
+			HeatMap:  cfg.HeatMap,
+			Position: cfg.Venue.Position,
+		})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("scenario: build engine: %w", err)
+		}
+		_ = pnlModel
+		return eng, eng, nil, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("scenario: unknown attack kind %d", int(cfg.Attack))
+	}
+}

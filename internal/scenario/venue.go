@@ -1,0 +1,154 @@
+// Package scenario composes the substrates into the paper's field
+// experiments: a venue (canteen, subway passage, shopping centre, railway
+// station) populated by an arrival process of phones with generated PNLs,
+// an attacker running one of the strategies, and the metric collection the
+// tables and figures need.
+package scenario
+
+import (
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+)
+
+// VenueKind identifies the paper's four deployment sites.
+type VenueKind int
+
+// Venue kinds.
+const (
+	// Passage is the subway passage: everyone moving fast.
+	Passage VenueKind = iota + 1
+	// Canteen: almost everyone static over a meal.
+	Canteen
+	// Mall: the shopping centre's mixed crowd.
+	Mall
+	// Station: the railway station's mixed crowd with commuter peaks.
+	Station
+)
+
+// String implements fmt.Stringer.
+func (k VenueKind) String() string {
+	switch k {
+	case Passage:
+		return "subway passage"
+	case Canteen:
+		return "canteen"
+	case Mall:
+		return "shopping center"
+	case Station:
+		return "railway station"
+	default:
+		return "unknown venue"
+	}
+}
+
+// Venue is one deployment site.
+type Venue struct {
+	// Name for reports.
+	Name string
+	// Kind selects defaults elsewhere.
+	Kind VenueKind
+	// Position is the attacker deployment point in city coordinates.
+	Position geo.Point
+	// RadioRange is the attacker's coverage radius in metres.
+	RadioRange float64
+	// Profile is the hour-of-day arrival profile.
+	Profile mobility.Profile
+	// MovingFraction is the share of people walking through (the rest
+	// sit within range for their dwell).
+	MovingFraction float64
+	// StaticDwell and MovingDwell sample in-range times for the two
+	// sub-populations.
+	StaticDwell mobility.DwellModel
+	MovingDwell mobility.DwellModel
+	// RushSlots lists the profile slots treated as rush hours: group
+	// sizes grow there (RushGroups vs DefaultGroups).
+	RushSlots []int
+}
+
+// IsRush reports whether a slot is a rush hour at this venue.
+func (v Venue) IsRush(slot int) bool {
+	for _, s := range v.RushSlots {
+		if s == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// Groups returns the group-size model for a slot.
+func (v Venue) Groups(slot int) mobility.GroupModel {
+	if v.IsRush(slot) {
+		return mobility.RushGroups()
+	}
+	return mobility.DefaultGroups()
+}
+
+// The default venue set, positioned at the synthetic city's hotspots (see
+// citygen.DefaultConfig).
+
+// PassageVenue returns the subway-passage deployment.
+func PassageVenue() Venue {
+	return Venue{
+		Name:           "subway passage",
+		Kind:           Passage,
+		Position:       geo.Pt(4050, 4020), // corridor by Central Station
+		RadioRange:     50,
+		Profile:        mobility.PassageProfile(),
+		MovingFraction: 1.0,
+		StaticDwell:    mobility.StaticDwell{Median: 5 * time.Minute, Sigma: 0.4, Max: 20 * time.Minute},
+		MovingDwell:    mobility.CorridorDwell{PathLength: 90, SpeedMin: 1.0, SpeedMax: 1.8},
+		RushSlots:      []int{0, 10},
+	}
+}
+
+// CanteenVenue returns the canteen deployment.
+func CanteenVenue() Venue {
+	return Venue{
+		Name:           "canteen",
+		Kind:           Canteen,
+		Position:       geo.Pt(2600, 2400),
+		RadioRange:     50,
+		Profile:        mobility.CanteenProfile(),
+		MovingFraction: 0.05,
+		StaticDwell:    mobility.StaticDwell{Median: 17 * time.Minute, Sigma: 0.45, Max: 50 * time.Minute},
+		MovingDwell:    mobility.CorridorDwell{PathLength: 80, SpeedMin: 0.8, SpeedMax: 1.5},
+		RushSlots:      []int{0, 4, 5, 10},
+	}
+}
+
+// MallVenue returns the shopping-centre deployment.
+func MallVenue() Venue {
+	return Venue{
+		Name:           "shopping center",
+		Kind:           Mall,
+		Position:       geo.Pt(5200, 5600), // iSQUARE
+		RadioRange:     50,
+		Profile:        mobility.MallProfile(),
+		MovingFraction: 0.55,
+		StaticDwell:    mobility.StaticDwell{Median: 12 * time.Minute, Sigma: 0.5, Max: 45 * time.Minute},
+		MovingDwell:    mobility.CorridorDwell{PathLength: 90, SpeedMin: 0.7, SpeedMax: 1.4},
+		RushSlots:      []int{5, 9, 10},
+	}
+}
+
+// StationVenue returns the railway-station deployment.
+func StationVenue() Venue {
+	return Venue{
+		Name:           "railway station",
+		Kind:           Station,
+		Position:       geo.Pt(4000, 4000), // Central Station concourse
+		RadioRange:     50,
+		Profile:        mobility.StationProfile(),
+		MovingFraction: 0.6,
+		StaticDwell:    mobility.StaticDwell{Median: 10 * time.Minute, Sigma: 0.5, Max: 40 * time.Minute},
+		MovingDwell:    mobility.CorridorDwell{PathLength: 90, SpeedMin: 0.9, SpeedMax: 1.7},
+		RushSlots:      []int{0, 10, 11},
+	}
+}
+
+// AllVenues returns the paper's four deployments in Figure 5 order.
+func AllVenues() []Venue {
+	return []Venue{PassageVenue(), CanteenVenue(), MallVenue(), StationVenue()}
+}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+)
+
+// venueFile is the JSON form of a Venue. Dwell models are encoded by kind
+// so the format stays declarative and forward-compatible.
+type venueFile struct {
+	Name           string           `json:"name"`
+	Kind           string           `json:"kind"`
+	Position       geo.Point        `json:"position"`
+	RadioRange     float64          `json:"radioRange"`
+	StartHour      int              `json:"startHour"`
+	ArrivalsPerMin []float64        `json:"arrivalsPerMinute"`
+	MovingFraction float64          `json:"movingFraction"`
+	Static         *staticDwellFile `json:"staticDwell,omitempty"`
+	Moving         *movingDwellFile `json:"movingDwell,omitempty"`
+	RushSlots      []int            `json:"rushSlots,omitempty"`
+}
+
+type staticDwellFile struct {
+	MedianMinutes float64 `json:"medianMinutes"`
+	Sigma         float64 `json:"sigma"`
+	MaxMinutes    float64 `json:"maxMinutes"`
+}
+
+type movingDwellFile struct {
+	PathLengthMetres float64 `json:"pathLengthMetres"`
+	SpeedMinMPS      float64 `json:"speedMinMps"`
+	SpeedMaxMPS      float64 `json:"speedMaxMps"`
+}
+
+var kindNames = map[string]VenueKind{
+	"passage": Passage,
+	"canteen": Canteen,
+	"mall":    Mall,
+	"station": Station,
+}
+
+// SaveVenue writes a venue as JSON. Only the built-in dwell-model types are
+// encodable; custom DwellModel implementations need their own persistence.
+func SaveVenue(w io.Writer, v Venue) error {
+	vf := venueFile{
+		Name:           v.Name,
+		Position:       v.Position,
+		RadioRange:     v.RadioRange,
+		StartHour:      v.Profile.StartHour,
+		ArrivalsPerMin: v.Profile.PerMinute,
+		MovingFraction: v.MovingFraction,
+		RushSlots:      v.RushSlots,
+	}
+	for name, kind := range kindNames {
+		if kind == v.Kind {
+			vf.Kind = name
+		}
+	}
+	if vf.Kind == "" {
+		return fmt.Errorf("scenario: venue kind %v not encodable", v.Kind)
+	}
+	switch d := v.StaticDwell.(type) {
+	case mobility.StaticDwell:
+		vf.Static = &staticDwellFile{
+			MedianMinutes: d.Median.Minutes(),
+			Sigma:         d.Sigma,
+			MaxMinutes:    d.Max.Minutes(),
+		}
+	case nil:
+	default:
+		return fmt.Errorf("scenario: static dwell %T not encodable", v.StaticDwell)
+	}
+	switch d := v.MovingDwell.(type) {
+	case mobility.CorridorDwell:
+		vf.Moving = &movingDwellFile{
+			PathLengthMetres: d.PathLength,
+			SpeedMinMPS:      d.SpeedMin,
+			SpeedMaxMPS:      d.SpeedMax,
+		}
+	case nil:
+	default:
+		return fmt.Errorf("scenario: moving dwell %T not encodable", v.MovingDwell)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(vf); err != nil {
+		return fmt.Errorf("scenario: encode venue: %w", err)
+	}
+	return nil
+}
+
+// LoadVenue reads a venue previously written by SaveVenue (or hand-written
+// in the same format) and validates it.
+func LoadVenue(r io.Reader) (Venue, error) {
+	var vf venueFile
+	if err := json.NewDecoder(r).Decode(&vf); err != nil {
+		return Venue{}, fmt.Errorf("scenario: decode venue: %w", err)
+	}
+	kind, ok := kindNames[vf.Kind]
+	if !ok {
+		return Venue{}, fmt.Errorf("scenario: unknown venue kind %q", vf.Kind)
+	}
+	if vf.Name == "" {
+		return Venue{}, fmt.Errorf("scenario: venue needs a name")
+	}
+	if vf.RadioRange <= 0 {
+		return Venue{}, fmt.Errorf("scenario: radio range %v must be positive", vf.RadioRange)
+	}
+	if vf.MovingFraction < 0 || vf.MovingFraction > 1 {
+		return Venue{}, fmt.Errorf("scenario: moving fraction %v outside [0,1]", vf.MovingFraction)
+	}
+	v := Venue{
+		Name:           vf.Name,
+		Kind:           kind,
+		Position:       vf.Position,
+		RadioRange:     vf.RadioRange,
+		Profile:        mobility.Profile{StartHour: vf.StartHour, PerMinute: vf.ArrivalsPerMin},
+		MovingFraction: vf.MovingFraction,
+		RushSlots:      vf.RushSlots,
+	}
+	if err := v.Profile.Validate(); err != nil {
+		return Venue{}, fmt.Errorf("scenario: %w", err)
+	}
+	for _, s := range vf.RushSlots {
+		if s < 0 || s >= v.Profile.Slots() {
+			return Venue{}, fmt.Errorf("scenario: rush slot %d outside profile", s)
+		}
+	}
+	if vf.Static != nil {
+		v.StaticDwell = mobility.StaticDwell{
+			Median: time.Duration(vf.Static.MedianMinutes * float64(time.Minute)),
+			Sigma:  vf.Static.Sigma,
+			Max:    time.Duration(vf.Static.MaxMinutes * float64(time.Minute)),
+		}
+	}
+	if vf.Moving != nil {
+		v.MovingDwell = mobility.CorridorDwell{
+			PathLength: vf.Moving.PathLengthMetres,
+			SpeedMin:   vf.Moving.SpeedMinMPS,
+			SpeedMax:   vf.Moving.SpeedMaxMPS,
+		}
+	}
+	if v.MovingFraction > 0 && v.MovingDwell == nil {
+		return Venue{}, fmt.Errorf("scenario: moving fraction %v needs a moving dwell model", v.MovingFraction)
+	}
+	if v.MovingFraction < 1 && v.StaticDwell == nil {
+		return Venue{}, fmt.Errorf("scenario: static share needs a static dwell model")
+	}
+	return v, nil
+}

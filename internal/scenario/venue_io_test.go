@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cityhunter/internal/mobility"
+)
+
+func TestVenueSaveLoadRoundTrip(t *testing.T) {
+	for _, v := range AllVenues() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := SaveVenue(&buf, v); err != nil {
+				t.Fatalf("SaveVenue: %v", err)
+			}
+			back, err := LoadVenue(&buf)
+			if err != nil {
+				t.Fatalf("LoadVenue: %v", err)
+			}
+			if back.Name != v.Name || back.Kind != v.Kind {
+				t.Errorf("identity changed: %q/%v", back.Name, back.Kind)
+			}
+			if back.Position != v.Position || back.RadioRange != v.RadioRange {
+				t.Error("geometry changed")
+			}
+			if back.MovingFraction != v.MovingFraction {
+				t.Error("moving fraction changed")
+			}
+			if len(back.Profile.PerMinute) != len(v.Profile.PerMinute) {
+				t.Fatal("profile length changed")
+			}
+			for i := range back.Profile.PerMinute {
+				if back.Profile.PerMinute[i] != v.Profile.PerMinute[i] {
+					t.Fatalf("profile slot %d changed", i)
+				}
+			}
+			if back.StaticDwell != v.StaticDwell {
+				t.Error("static dwell changed")
+			}
+			if back.MovingDwell != v.MovingDwell {
+				t.Error("moving dwell changed")
+			}
+			if len(back.RushSlots) != len(v.RushSlots) {
+				t.Error("rush slots changed")
+			}
+		})
+	}
+}
+
+func TestLoadVenueValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		json string
+	}{
+		{"garbage", `{not json`},
+		{"unknown kind", `{"name":"x","kind":"volcano","radioRange":50,"arrivalsPerMinute":[1],"staticDwell":{"medianMinutes":5,"sigma":0.1,"maxMinutes":30}}`},
+		{"missing name", `{"kind":"canteen","radioRange":50,"arrivalsPerMinute":[1]}`},
+		{"zero range", `{"name":"x","kind":"canteen","radioRange":0,"arrivalsPerMinute":[1]}`},
+		{"empty profile", `{"name":"x","kind":"canteen","radioRange":50,"arrivalsPerMinute":[]}`},
+		{"negative rate", `{"name":"x","kind":"canteen","radioRange":50,"arrivalsPerMinute":[-1]}`},
+		{"bad moving fraction", `{"name":"x","kind":"canteen","radioRange":50,"arrivalsPerMinute":[1],"movingFraction":2}`},
+		{"rush slot out of range", `{"name":"x","kind":"canteen","radioRange":50,"arrivalsPerMinute":[1],"rushSlots":[5],"staticDwell":{"medianMinutes":5,"sigma":0.1,"maxMinutes":30}}`},
+		{"moving without model", `{"name":"x","kind":"passage","radioRange":50,"arrivalsPerMinute":[1],"movingFraction":1}`},
+		{"static without model", `{"name":"x","kind":"canteen","radioRange":50,"arrivalsPerMinute":[1],"movingFraction":0}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadVenue(strings.NewReader(tt.json)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestLoadVenueHandWritten(t *testing.T) {
+	const doc = `{
+		"name": "night market",
+		"kind": "mall",
+		"position": {"x": 1000, "y": 2000},
+		"radioRange": 40,
+		"startHour": 18,
+		"arrivalsPerMinute": [10, 18, 20, 12],
+		"movingFraction": 0.4,
+		"staticDwell": {"medianMinutes": 8, "sigma": 0.4, "maxMinutes": 40},
+		"movingDwell": {"pathLengthMetres": 70, "speedMinMps": 0.8, "speedMaxMps": 1.4},
+		"rushSlots": [1, 2]
+	}`
+	v, err := LoadVenue(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("LoadVenue: %v", err)
+	}
+	if v.Kind != Mall || v.Profile.StartHour != 18 || !v.IsRush(2) || v.IsRush(0) {
+		t.Errorf("venue = %+v", v)
+	}
+	if v.Profile.SlotLabel(0) != "6pm-7pm" {
+		t.Errorf("label = %q", v.Profile.SlotLabel(0))
+	}
+	// A loaded venue must be runnable.
+	cfg := baseConfig(t, v, CityHunter, 71)
+	cfg.ArrivalScale = 0.5
+	res, err := Run(cfg, 1, 4*time.Minute)
+	if err != nil {
+		t.Fatalf("Run on loaded venue: %v", err)
+	}
+	if res.Venue != "night market" {
+		t.Errorf("result venue = %q", res.Venue)
+	}
+}
+
+func TestSaveVenueRejectsCustomDwell(t *testing.T) {
+	v := CanteenVenue()
+	v.StaticDwell = mobility.HybridDwell{
+		StaticFraction: 0.5,
+		Static:         v.StaticDwell,
+		Moving:         v.MovingDwell,
+	}
+	var buf bytes.Buffer
+	if err := SaveVenue(&buf, v); err == nil {
+		t.Error("custom dwell model encoded without error")
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+)
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.Run(e.Now() + time.Millisecond)
+		}
+	}
+	e.Run(e.Now() + time.Second)
+}
+
+func BenchmarkMediumBroadcast100Stations(b *testing.B) {
+	e := NewEngine()
+	m := NewMedium(e, 100)
+	tx := &fakeStation{addr: mac(0), pos: geo.Pt(0, 0)}
+	if err := m.Attach(tx); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		s := &fakeStation{
+			addr: ieee80211.MAC{0x02, 0, 0, 0, byte(i >> 8), byte(i)},
+			pos:  geo.Pt(float64(i%10), float64(i/10)),
+		}
+		s.onRecv = func(*ieee80211.Frame) {}
+		if err := m.Attach(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f := probeReq(tx.addr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transmit(f)
+		e.Run(e.Now() + time.Millisecond)
+	}
+}
+
+func BenchmarkMediumUnicast(b *testing.B) {
+	e := NewEngine()
+	m := NewMedium(e, 100)
+	tx := &fakeStation{addr: mac(0), pos: geo.Pt(0, 0)}
+	rx := &fakeStation{addr: mac(1), pos: geo.Pt(5, 0)}
+	if err := m.Attach(tx); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Attach(rx); err != nil {
+		b.Fatal(err)
+	}
+	f := probeResp(tx.addr, rx.addr, "Bench Net")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transmit(f)
+		if i%256 == 255 {
+			e.Run(e.Now() + time.Second)
+			rx.received = rx.received[:0]
+		}
+	}
+	e.Run(e.Now() + time.Hour)
+}

@@ -1,0 +1,124 @@
+// Package sim provides the discrete-event simulation core: a virtual clock,
+// an ordered event queue, and an RF medium that delivers 802.11 frames
+// between stations with airtime-accurate timing.
+//
+// Nothing in this package (or anywhere in the library) reads the wall
+// clock: the engine owns time, which makes every experiment deterministic
+// and replayable from its seed.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. Events execute in
+// (time, insertion-order) order; an event may schedule further events.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay. A non-positive delay runs fn at the current
+// time but never before the currently executing event returns.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current time.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until. It returns the number of events executed. After Run the clock
+// rests at until (or at the last event time if the queue drained first and
+// that was later — it cannot be, so the clock is min(last event, until)
+// advanced to until when events remain).
+func (e *Engine) Run(until time.Duration) int {
+	executed := 0
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		executed++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return executed
+}
+
+// Step executes exactly one event if any is pending and reports whether it
+// did.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	e.now = next.at
+	next.fn()
+	return true
+}
+
+// Halt stops the current Run after the executing event completes. Pending
+// events stay queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	if n := e.Run(10 * time.Second); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(5*time.Second, func() { at = e.Now() })
+	e.Run(time.Minute)
+	if at != 5*time.Second {
+		t.Errorf("Now during event = %v, want 5s", at)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("Now after Run = %v, want 1m", e.Now())
+	}
+}
+
+func TestEngineRunStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(2*time.Second, func() { ran = true })
+	if n := e.Run(time.Second); n != 0 {
+		t.Fatalf("executed %d, want 0", n)
+	}
+	if ran {
+		t.Error("event beyond horizon executed")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// The event survives for a later Run.
+	e.Run(3 * time.Second)
+	if !ran {
+		t.Error("event did not execute on second Run")
+	}
+}
+
+func TestEngineEventSchedulesEvent(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, e.Now())
+		if len(times) < 5 {
+			e.Schedule(time.Second, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(time.Minute)
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(times))
+	}
+	for i, at := range times {
+		if want := time.Duration(i) * time.Second; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("clamped event at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run(time.Minute)
+}
+
+func TestEngineAtPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Run(10 * time.Second)
+	fired := false
+	e.At(time.Second, func() { fired = true })
+	e.Run(10 * time.Second) // horizon equals now: event clamped to now runs
+	if !fired {
+		t.Error("past event did not run at current time")
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(time.Second, func() { count++; e.Halt() })
+	e.Schedule(2*time.Second, func() { count++ })
+	e.Run(time.Minute)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after Halt", count)
+	}
+	// A fresh Run resumes.
+	e.Run(time.Minute)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resumed Run", count)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue = true")
+	}
+	ran := false
+	e.Schedule(time.Hour, func() { ran = true })
+	if !e.Step() {
+		t.Error("Step = false with pending event")
+	}
+	if !ran || e.Now() != time.Hour {
+		t.Errorf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+// TestQuickEngineOrdering property-checks that any batch of random delays
+// executes in sorted order.
+func TestQuickEngineOrdering(t *testing.T) {
+	f := func(delays []uint32) bool {
+		e := NewEngine()
+		var got []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d%1e6) * time.Microsecond
+			e.Schedule(d, func() { got = append(got, e.Now()) })
+		}
+		e.Run(time.Hour)
+		if len(got) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineManyEventsStress(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { count++ })
+	}
+	if got := e.Run(time.Second); got != n {
+		t.Fatalf("executed %d, want %d", got, n)
+	}
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

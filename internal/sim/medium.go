@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+)
+
+// ChannelTuner is an optional Station extension for radios parked on (or
+// hopping between) 802.11 channels. A station that implements it transmits
+// and receives only on its current channel; stations that do not are
+// channel-agnostic — they hear and reach every channel, which is the right
+// model for monitor-mode sniffers and for tests that do not care.
+type ChannelTuner interface {
+	// CurrentChannel returns the channel the radio is tuned to right now
+	// (0 behaves as channel-agnostic).
+	CurrentChannel() uint8
+}
+
+// Station is anything attached to the medium: clients, attackers,
+// legitimate APs.
+type Station interface {
+	// Addr returns the station's MAC address. It must be unique on the
+	// medium and stable for the station's lifetime.
+	Addr() ieee80211.MAC
+	// Pos returns the station's current position. The medium calls it at
+	// frame-delivery time, so moving stations are handled naturally.
+	Pos() geo.Point
+	// Receive delivers a frame that arrived at the station's antenna.
+	Receive(f *ieee80211.Frame)
+}
+
+// Medium is a shared broadcast RF channel. Frames sent by one station are
+// delivered, after their airtime, to every other attached station within
+// radio range of the transmitter at delivery time. Per-transmitter
+// serialization models the half-duplex radio: a station's next frame starts
+// only after its previous one finished, which is exactly what limits an
+// attacker to ~40 probe responses per 10 ms scan window.
+//
+// Broadcast delivery iterates stations in attach order, so runs are
+// deterministic for a given seed.
+type Medium struct {
+	engine *Engine
+	rng    rangeModel
+
+	// order holds attached stations in attach order; index maps a MAC to
+	// its slot in order. Detached slots are nil and recycled lazily.
+	order []Station
+	index map[ieee80211.MAC]int
+
+	// promisc holds monitor-mode stations: they hear every in-range
+	// frame regardless of its destination, and are never addressable.
+	promisc      []Station
+	promiscIndex map[ieee80211.MAC]int
+
+	busyUntil map[ieee80211.MAC]time.Duration
+
+	// loss is the independent per-delivery drop probability; lossRNG
+	// draws for it and for soft-edge reception. needRNG marks models
+	// that need draws even without loss.
+	loss    float64
+	lossRNG *rand.Rand
+	needRNG bool
+
+	// FramesSent counts every transmission accepted by the medium.
+	FramesSent int
+	// FramesDelivered counts every successful delivery to a receiver.
+	FramesDelivered int
+	// FramesRetried counts unicast retransmissions after a lost frame.
+	FramesRetried int
+}
+
+// rangeModel decides whether a receiver hears a transmitter. prob returns
+// the reception probability at the given geometry (0, 1, or in between for
+// soft-edge models).
+type rangeModel interface {
+	prob(tx, rx geo.Point) float64
+}
+
+// diskRange is the unit-disk model: reception succeeds within radius metres.
+type diskRange struct{ radius float64 }
+
+func (d diskRange) prob(tx, rx geo.Point) float64 {
+	if tx.Dist2(rx) <= d.radius*d.radius {
+		return 1
+	}
+	return 0
+}
+
+// softEdgeRange receives perfectly inside inner, fades linearly to zero at
+// outer — a crude but useful stand-in for the fuzzy cell edge of a real
+// radio.
+type softEdgeRange struct{ inner, outer float64 }
+
+func (s softEdgeRange) prob(tx, rx geo.Point) float64 {
+	d2 := tx.Dist2(rx)
+	if d2 <= s.inner*s.inner {
+		return 1
+	}
+	if d2 >= s.outer*s.outer {
+		return 0
+	}
+	d := tx.Dist(rx)
+	return 1 - (d-s.inner)/(s.outer-s.inner)
+}
+
+// MediumOption customises NewMedium.
+type MediumOption interface{ applyMedium(*Medium) }
+
+type mediumOptionFunc func(*Medium)
+
+func (f mediumOptionFunc) applyMedium(m *Medium) { f(m) }
+
+// WithFrameLoss drops each frame delivery independently with probability p
+// (collisions, fading, interference). Draws come from the given seed, so
+// lossy runs stay reproducible.
+func WithFrameLoss(p float64, seed int64) MediumOption {
+	return mediumOptionFunc(func(m *Medium) {
+		m.loss = p
+		m.lossRNG = rand.New(rand.NewSource(seed))
+	})
+}
+
+// WithSoftEdge replaces the unit disk with a fading edge: perfect
+// reception inside inner metres, fading to zero at the medium's radius.
+func WithSoftEdge(inner float64) MediumOption {
+	return mediumOptionFunc(func(m *Medium) {
+		if d, ok := m.rng.(diskRange); ok && inner < d.radius {
+			m.rng = softEdgeRange{inner: inner, outer: d.radius}
+			m.needRNG = true
+		}
+	})
+}
+
+// NewMedium returns a medium on engine where stations hear each other
+// within radius metres (unit-disk propagation by default). The paper's
+// Raspberry Pi at 100 mW covers roughly a 50 m disk in open indoor space.
+func NewMedium(engine *Engine, radius float64, opts ...MediumOption) *Medium {
+	m := &Medium{
+		engine:       engine,
+		rng:          diskRange{radius: radius},
+		index:        make(map[ieee80211.MAC]int),
+		promiscIndex: make(map[ieee80211.MAC]int),
+		busyUntil:    make(map[ieee80211.MAC]time.Duration),
+	}
+	for _, o := range opts {
+		o.applyMedium(m)
+	}
+	if (m.loss > 0 || m.needRNG) && m.lossRNG == nil {
+		m.lossRNG = rand.New(rand.NewSource(1))
+	}
+	return m
+}
+
+// receives draws whether one delivery succeeds given geometry and loss.
+func (m *Medium) receives(tx, rx geo.Point) bool {
+	p := m.rng.prob(tx, rx)
+	if p <= 0 {
+		return false
+	}
+	if m.loss > 0 {
+		p *= 1 - m.loss
+	}
+	if p >= 1 {
+		return true
+	}
+	if m.lossRNG == nil {
+		return p >= 1
+	}
+	return m.lossRNG.Float64() < p
+}
+
+// Attach registers s on the medium. Attaching a MAC twice is a programming
+// error and returns one.
+func (m *Medium) Attach(s Station) error {
+	if err := m.checkNew(s.Addr()); err != nil {
+		return err
+	}
+	m.index[s.Addr()] = len(m.order)
+	m.order = append(m.order, s)
+	return nil
+}
+
+// AttachPromiscuous registers s as a monitor-mode station: it receives
+// every frame whose transmitter is in range — unicast or broadcast, to
+// anyone — exactly like a sniffer in monitor mode. Promiscuous stations
+// are not addressable (frames sent to their MAC go nowhere) and should not
+// transmit.
+func (m *Medium) AttachPromiscuous(s Station) error {
+	if err := m.checkNew(s.Addr()); err != nil {
+		return err
+	}
+	m.promiscIndex[s.Addr()] = len(m.promisc)
+	m.promisc = append(m.promisc, s)
+	return nil
+}
+
+func (m *Medium) checkNew(addr ieee80211.MAC) error {
+	if _, dup := m.index[addr]; dup {
+		return fmt.Errorf("sim: station %v already attached", addr)
+	}
+	if _, dup := m.promiscIndex[addr]; dup {
+		return fmt.Errorf("sim: station %v already attached promiscuously", addr)
+	}
+	return nil
+}
+
+// Detach removes the station with the given address; frames already in
+// flight to it are dropped at delivery time. Detaching an unknown address
+// is a no-op so departing clients can detach unconditionally.
+func (m *Medium) Detach(addr ieee80211.MAC) {
+	if pi, ok := m.promiscIndex[addr]; ok {
+		m.promisc[pi] = nil
+		delete(m.promiscIndex, addr)
+		return
+	}
+	i, ok := m.index[addr]
+	if !ok {
+		return
+	}
+	m.order[i] = nil
+	delete(m.index, addr)
+	delete(m.busyUntil, addr)
+	m.maybeCompact()
+}
+
+// maybeCompact rebuilds the order slice once more than half its slots are
+// tombstones, preserving attach order.
+func (m *Medium) maybeCompact() {
+	if len(m.order) < 64 || len(m.index)*2 > len(m.order) {
+		return
+	}
+	compact := make([]Station, 0, len(m.index))
+	for _, s := range m.order {
+		if s != nil {
+			compact = append(compact, s)
+		}
+	}
+	m.order = compact
+	for i, s := range m.order {
+		m.index[s.Addr()] = i
+	}
+}
+
+// Attached reports whether addr is currently on the medium (in either
+// normal or monitor mode).
+func (m *Medium) Attached(addr ieee80211.MAC) bool {
+	if _, ok := m.index[addr]; ok {
+		return true
+	}
+	_, ok := m.promiscIndex[addr]
+	return ok
+}
+
+// StationCount returns the number of attached stations.
+func (m *Medium) StationCount() int { return len(m.index) }
+
+// Transmit queues f for transmission by the station with MAC f.SA. The
+// frame goes on air once the transmitter's previous frame has finished
+// (half-duplex serialization) and is delivered after its airtime to every
+// in-range station — to the unicast destination only, or to everyone for
+// broadcast destinations. Transmit returns the time the frame will finish
+// transmitting.
+func (m *Medium) Transmit(f *ieee80211.Frame) time.Duration {
+	return m.TransmitFrom(f.SA, f)
+}
+
+// TransmitFrom is Transmit with an explicit physical transmitter, which may
+// differ from the frame's SA: spoofed frames (the deauthentication attack
+// forges the legitimate AP's address) radiate from the spoofer's radio, so
+// range and airtime are charged to the spoofer.
+func (m *Medium) TransmitFrom(tx ieee80211.MAC, f *ieee80211.Frame) time.Duration {
+	// The PHY channel is pinned at transmit time: if the transmitter
+	// hops before the frame lands, the tail still went out on the old
+	// channel.
+	txCh := m.channelOf(tx)
+	start := m.engine.Now()
+	if busy := m.busyUntil[tx]; busy > start {
+		start = busy
+	}
+	done := start + f.Airtime()
+	m.busyUntil[tx] = done
+	m.FramesSent++
+
+	m.engine.At(done, func() { m.deliver(tx, txCh, f, unicastRetryLimit) })
+	return done
+}
+
+// channelOf returns a station's current channel, or 0 (agnostic) when the
+// station is unknown or untuned.
+func (m *Medium) channelOf(addr ieee80211.MAC) uint8 {
+	if i, ok := m.index[addr]; ok {
+		if t, ok := m.order[i].(ChannelTuner); ok {
+			return t.CurrentChannel()
+		}
+	}
+	return 0
+}
+
+// sameChannel reports whether a transmission on txCh reaches a receiver;
+// channel 0 on either side is agnostic.
+func sameChannel(txCh uint8, rx Station) bool {
+	if txCh == 0 {
+		return true
+	}
+	t, ok := rx.(ChannelTuner)
+	if !ok {
+		return true
+	}
+	rxCh := t.CurrentChannel()
+	return rxCh == 0 || rxCh == txCh
+}
+
+// unicastRetryLimit is the 802.11 long retry limit: unicast frames are
+// ACKed, and a lost one is retransmitted up to this many times. Broadcast
+// frames are never retried, per the standard.
+const unicastRetryLimit = 7
+
+// TxBusyUntil returns when the given transmitter's queue drains; before
+// that time any new Transmit will be queued behind earlier frames.
+func (m *Medium) TxBusyUntil(addr ieee80211.MAC) time.Duration {
+	return m.busyUntil[addr]
+}
+
+func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retriesLeft int) {
+	ti, ok := m.index[tx]
+	if !ok {
+		// Transmitter departed mid-flight: the tail of its transmission
+		// is lost.
+		return
+	}
+	txPos := m.order[ti].Pos()
+
+	// Monitor-mode stations hear everything in range, first — their
+	// detectors may inform decisions other receivers make later in the
+	// same instant.
+	for _, rx := range m.promisc {
+		if rx == nil || rx.Addr() == tx {
+			continue
+		}
+		if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos()) {
+			rx.Receive(f)
+		}
+	}
+
+	if f.DA.IsBroadcast() {
+		for _, rx := range m.order {
+			if rx == nil || rx.Addr() == tx {
+				continue
+			}
+			// Re-check liveness: a Receive callback earlier in this loop
+			// may have detached a later station.
+			if _, live := m.index[rx.Addr()]; !live {
+				continue
+			}
+			if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos()) {
+				m.FramesDelivered++
+				rx.Receive(f)
+			}
+		}
+		return
+	}
+	ri, ok := m.index[f.DA]
+	if !ok {
+		return
+	}
+	rx := m.order[ri]
+	rxPos := rx.Pos()
+	if !sameChannel(txCh, rx) {
+		// Wrong channel: no ACK, so the transmitter retries exactly as
+		// for a lost frame (which is what a real radio observes).
+		if retriesLeft > 0 {
+			m.FramesRetried++
+			m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
+		}
+		return
+	}
+	if m.receives(txPos, rxPos) {
+		m.FramesDelivered++
+		rx.Receive(f)
+		return
+	}
+	// A unicast frame in range but lost draws no ACK; the transmitter
+	// retries after another airtime, up to the 802.11 retry limit.
+	if retriesLeft > 0 && m.rng.prob(txPos, rxPos) > 0 {
+		m.FramesRetried++
+		m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
+	}
+}

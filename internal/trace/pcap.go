@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// Classic pcap constants (pcap file format, not pcapng).
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	// linkTypeIEEE80211 is DLT_IEEE802_11: raw 802.11 headers without a
+	// radiotap prefix.
+	linkTypeIEEE80211 = 105
+	// pcapSnapLen is the per-packet capture limit we declare.
+	pcapSnapLen = 65535
+)
+
+// PcapWriter streams frames into the classic libpcap file format with
+// 802.11 link type, so captures open directly in Wireshark/tcpdump.
+type PcapWriter struct {
+	w     io.Writer
+	count int
+}
+
+// NewPcapWriter writes the global header and returns a writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone (4) and sigfigs (4) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeIEEE80211)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: pcap header: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WriteFrame marshals f and appends one packet record stamped with the
+// virtual capture time.
+func (p *PcapWriter) WriteFrame(at time.Duration, f *ieee80211.Frame) error {
+	wire, err := f.Marshal()
+	if err != nil {
+		return fmt.Errorf("trace: marshal frame: %w", err)
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(at/time.Second))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(at%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(wire)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(wire)))
+	if _, err := p.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: pcap record header: %w", err)
+	}
+	if _, err := p.w.Write(wire); err != nil {
+		return fmt.Errorf("trace: pcap payload: %w", err)
+	}
+	p.count++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (p *PcapWriter) Count() int { return p.count }
+
+// WritePcap re-marshals a monitor's capture into pcap form. Entries are
+// decoded back into frames from their recorded fields; the SSID and
+// addressing survive the round trip, which is what Wireshark displays.
+func (m *Monitor) WritePcap(w io.Writer) error {
+	pw, err := NewPcapWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := range m.entries {
+		f, err := m.entries[i].toFrame()
+		if err != nil {
+			return fmt.Errorf("trace: entry %d: %w", i, err)
+		}
+		if err := pw.WriteFrame(m.entries[i].At, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// toFrame reconstructs a transmittable frame from a recorded entry.
+func (e *Entry) toFrame() (*ieee80211.Frame, error) {
+	sub, err := subtypeByName(e.Subtype)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := ieee80211.ParseMAC(e.SA)
+	if err != nil {
+		return nil, err
+	}
+	da, err := ieee80211.ParseMAC(e.DA)
+	if err != nil {
+		return nil, err
+	}
+	bssid, err := ieee80211.ParseMAC(e.BSSID)
+	if err != nil {
+		return nil, err
+	}
+	return &ieee80211.Frame{
+		Subtype: sub,
+		SA:      sa,
+		DA:      da,
+		BSSID:   bssid,
+		SSID:    e.SSID,
+	}, nil
+}
+
+func subtypeByName(name string) (ieee80211.FrameSubtype, error) {
+	for _, s := range []ieee80211.FrameSubtype{
+		ieee80211.SubtypeAssocRequest,
+		ieee80211.SubtypeAssocResponse,
+		ieee80211.SubtypeProbeRequest,
+		ieee80211.SubtypeProbeResponse,
+		ieee80211.SubtypeBeacon,
+		ieee80211.SubtypeAuth,
+		ieee80211.SubtypeDeauth,
+	} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown subtype %q", name)
+}

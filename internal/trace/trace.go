@@ -1,0 +1,137 @@
+// Package trace records 802.11 frames crossing the simulated medium into a
+// replayable, JSON-exportable log — the equivalent of the packet captures
+// the paper's field deployment kept for analysis.
+//
+// A Recorder wraps any station's Receive path (or is attached standalone as
+// a monitor station) and stores compact per-frame records with virtual
+// timestamps. Filters select subsets; Summary aggregates per-subtype
+// counts.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/sim"
+)
+
+// Entry is one recorded frame.
+type Entry struct {
+	// At is the virtual capture time in nanoseconds.
+	At time.Duration `json:"at"`
+	// Subtype is the human-readable frame subtype.
+	Subtype string `json:"subtype"`
+	// SA, DA and BSSID are the addresses in canonical form.
+	SA    string `json:"sa"`
+	DA    string `json:"da"`
+	BSSID string `json:"bssid"`
+	// SSID is the carried network name, if any.
+	SSID string `json:"ssid,omitempty"`
+	// Len is the marshalled frame length in bytes.
+	Len int `json:"len"`
+}
+
+// Monitor is a promiscuous station that records every frame it hears. It
+// never transmits.
+type Monitor struct {
+	addr    ieee80211.MAC
+	pos     geo.Point
+	clock   interface{ Now() time.Duration }
+	entries []Entry
+	// MaxEntries bounds memory; 0 means unbounded. When full, new frames
+	// are dropped and Dropped counts them.
+	MaxEntries int
+	Dropped    int
+}
+
+var _ sim.Station = (*Monitor)(nil)
+
+// NewMonitor builds a monitor at the given position. Attach it to the
+// medium to start capturing.
+func NewMonitor(engine *sim.Engine, addr ieee80211.MAC, pos geo.Point) *Monitor {
+	return &Monitor{addr: addr, pos: pos, clock: engine}
+}
+
+// Addr implements sim.Station.
+func (m *Monitor) Addr() ieee80211.MAC { return m.addr }
+
+// Pos implements sim.Station.
+func (m *Monitor) Pos() geo.Point { return m.pos }
+
+// Receive implements sim.Station: record the frame.
+func (m *Monitor) Receive(f *ieee80211.Frame) {
+	if m.MaxEntries > 0 && len(m.entries) >= m.MaxEntries {
+		m.Dropped++
+		return
+	}
+	m.entries = append(m.entries, Entry{
+		At:      m.clock.Now(),
+		Subtype: f.Subtype.String(),
+		SA:      f.SA.String(),
+		DA:      f.DA.String(),
+		BSSID:   f.BSSID.String(),
+		SSID:    f.SSID,
+		Len:     f.WireLen(),
+	})
+}
+
+// Len returns the number of captured frames.
+func (m *Monitor) Len() int { return len(m.entries) }
+
+// Entries returns a copy of the capture.
+func (m *Monitor) Entries() []Entry {
+	out := make([]Entry, len(m.entries))
+	copy(out, m.entries)
+	return out
+}
+
+// Filter returns the entries matching pred, preserving order.
+func (m *Monitor) Filter(pred func(Entry) bool) []Entry {
+	var out []Entry
+	for _, e := range m.entries {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary counts captured frames per subtype.
+func (m *Monitor) Summary() map[string]int {
+	out := make(map[string]int)
+	for _, e := range m.entries {
+		out[e.Subtype]++
+	}
+	return out
+}
+
+// WriteJSON streams the capture as JSON lines (one entry per line), the
+// standard interchange form for offline analysis.
+func (m *Monitor) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range m.entries {
+		if err := enc.Encode(&m.entries[i]); err != nil {
+			return fmt.Errorf("trace: encode entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON loads a capture previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Entry, error) {
+	dec := json.NewDecoder(r)
+	var out []Entry
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode entry %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/sim"
+)
+
+func monitorFixture(t *testing.T) (*sim.Engine, *sim.Medium, *Monitor) {
+	t.Helper()
+	engine := sim.NewEngine()
+	medium := sim.NewMedium(engine, 100)
+	mon := NewMonitor(engine, ieee80211.MAC{0x0a, 0, 0, 0, 0, 0xfe}, geo.Pt(0, 0))
+	if err := medium.AttachPromiscuous(mon); err != nil {
+		t.Fatal(err)
+	}
+	return engine, medium, mon
+}
+
+type beeper struct {
+	addr ieee80211.MAC
+	pos  geo.Point
+}
+
+func (b *beeper) Addr() ieee80211.MAC      { return b.addr }
+func (b *beeper) Pos() geo.Point           { return b.pos }
+func (b *beeper) Receive(*ieee80211.Frame) {}
+
+func TestMonitorCaptures(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	medium.Transmit(&ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeRequest,
+		DA:      ieee80211.BroadcastMAC, SA: tx.addr, BSSID: ieee80211.BroadcastMAC,
+		SSID: "CafeNet",
+	})
+	medium.Transmit(&ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeRequest,
+		DA:      ieee80211.BroadcastMAC, SA: tx.addr, BSSID: ieee80211.BroadcastMAC,
+	})
+	engine.Run(time.Second)
+
+	if mon.Len() != 2 {
+		t.Fatalf("captured %d frames, want 2", mon.Len())
+	}
+	entries := mon.Entries()
+	if entries[0].SSID != "CafeNet" || entries[0].Subtype != "probe-request" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[0].At <= 0 || entries[1].At <= entries[0].At {
+		t.Errorf("timestamps not increasing: %v %v", entries[0].At, entries[1].At)
+	}
+	if entries[0].SA != tx.addr.String() {
+		t.Errorf("SA = %q", entries[0].SA)
+	}
+	if entries[0].Len == 0 {
+		t.Error("zero frame length")
+	}
+}
+
+func TestMonitorBounded(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	mon.MaxEntries = 3
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		medium.Transmit(&ieee80211.Frame{
+			Subtype: ieee80211.SubtypeProbeRequest,
+			DA:      ieee80211.BroadcastMAC, SA: tx.addr,
+		})
+	}
+	engine.Run(time.Second)
+	if mon.Len() != 3 {
+		t.Errorf("Len = %d, want 3", mon.Len())
+	}
+	if mon.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", mon.Dropped)
+	}
+}
+
+func TestFilterAndSummary(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	medium.Transmit(&ieee80211.Frame{Subtype: ieee80211.SubtypeProbeRequest, DA: ieee80211.BroadcastMAC, SA: tx.addr})
+	medium.Transmit(&ieee80211.Frame{Subtype: ieee80211.SubtypeDeauth, DA: ieee80211.BroadcastMAC, SA: tx.addr})
+	medium.Transmit(&ieee80211.Frame{Subtype: ieee80211.SubtypeDeauth, DA: ieee80211.BroadcastMAC, SA: tx.addr})
+	engine.Run(time.Second)
+
+	sum := mon.Summary()
+	if sum["probe-request"] != 1 || sum["deauth"] != 2 {
+		t.Errorf("summary = %v", sum)
+	}
+	deauths := mon.Filter(func(e Entry) bool { return e.Subtype == "deauth" })
+	if len(deauths) != 2 {
+		t.Errorf("filtered %d deauths", len(deauths))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	medium.Transmit(&ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeResponse,
+		DA:      tx.addr, SA: mon.Addr(), BSSID: mon.Addr(), SSID: "X",
+	})
+	medium.Transmit(&ieee80211.Frame{Subtype: ieee80211.SubtypeProbeRequest, DA: ieee80211.BroadcastMAC, SA: tx.addr})
+	engine.Run(time.Second)
+
+	var buf bytes.Buffer
+	if err := mon.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(back, mon.Entries()) {
+		t.Error("JSON round trip changed entries")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad json")); err == nil {
+		t.Error("want error for invalid JSON")
+	}
+	got, err := ReadJSON(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	medium.Transmit(&ieee80211.Frame{Subtype: ieee80211.SubtypeProbeRequest, DA: ieee80211.BroadcastMAC, SA: tx.addr})
+	engine.Run(time.Second)
+	got := mon.Entries()
+	got[0].SSID = "mutated"
+	if mon.Entries()[0].SSID == "mutated" {
+		t.Error("Entries exposes internal slice")
+	}
+}
+
+// mustMAC and probeEntryFrame are helpers shared with the analysis tests.
+func mustMAC(t *testing.T, s string) ieee80211.MAC {
+	t.Helper()
+	m, err := ieee80211.ParseMAC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func probeEntryFrame(sa ieee80211.MAC, ssid string) *ieee80211.Frame {
+	return &ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeRequest,
+		DA:      ieee80211.BroadcastMAC,
+		SA:      sa,
+		BSSID:   ieee80211.BroadcastMAC,
+		SSID:    ssid,
+	}
+}
