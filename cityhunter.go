@@ -34,6 +34,7 @@ import (
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
 	"cityhunter/internal/heatmap"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/scenario"
 	"cityhunter/internal/stats"
@@ -69,6 +70,14 @@ type (
 	Finding      = detect.Finding
 	TraceMonitor = trace.Monitor
 	TraceEntry   = trace.Entry
+
+	// Observability: the metrics snapshot, the flight-recorder journal and
+	// the Perfetto span trace a run can attach to its Result.
+	MetricsSnapshot = obs.Snapshot
+	MetricPoint     = obs.MetricPoint
+	FlightRecorder  = obs.Journal
+	JournalEvent    = obs.Event
+	PerfettoTrace   = obs.Trace
 )
 
 // Attack strategies.
@@ -353,6 +362,36 @@ func WithSentinel() RunOption {
 // about a million entries).
 func WithTrace() RunOption {
 	return runOptionFunc(func(o *runOptions) { o.cfg.Trace = true })
+}
+
+// WithMetrics instruments every layer of the run — sim engine, medium,
+// attacker, City-Hunter engine, runner — with the observability registry.
+// Result.Metrics holds the snapshot; identical seeds produce byte-identical
+// dumps.
+func WithMetrics() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Metrics = true })
+}
+
+// WithFlightRecorder arms the run flight recorder: a ring-bounded journal
+// of structured, virtually-timestamped events (buffer adaptations, ghost
+// hits, associations, deauth sweeps, frame losses) in Result.Journal.
+// capacity <= 0 selects the default of 8192 events; older events are
+// overwritten and counted once the ring fills.
+func WithFlightRecorder(capacity int) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		if capacity <= 0 {
+			capacity = obs.DefaultJournalCap
+		}
+		o.cfg.FlightRecorderCap = capacity
+	})
+}
+
+// WithPerfettoTrace collects Chrome/Perfetto trace spans — client
+// lifecycles, scan cycles, attacker reply batches — into Result.Spans,
+// whose WriteJSON output opens directly in chrome://tracing or
+// ui.perfetto.dev.
+func WithPerfettoTrace() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.SpanTrace = true })
 }
 
 // Run deploys the chosen attacker at the venue for one test: the venue's

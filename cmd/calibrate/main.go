@@ -1,8 +1,11 @@
-// Command diag is the calibration harness behind pnl.DefaultConfig: it
+// Command calibrate is the calibration harness behind pnl.DefaultConfig: it
 // sweeps phone-population parameters and prints the emergent attack rates
 // next to the paper's targets, which is how the frozen defaults in
 // EXPERIMENTS.md ("Calibration") were chosen. Re-run it after changing the
 // city or PNL models to re-check the bands.
+//
+// Each run enables the metrics registry, so the per-run line is read from
+// the same deterministic snapshot that cityhunter-sim -metrics prints.
 package main
 
 import (
@@ -46,15 +49,23 @@ func main() {
 			cfg := scenario.Config{
 				City: city, HeatMap: hm, PNL: model, Venue: v, Attack: kind, WiGLE: sampled,
 				DirectProberFraction: 0.15, Seed: 11,
+				Metrics: true,
 			}
 			res, err := scenario.Run(cfg, slot, 30*time.Minute)
 			if err != nil {
 				panic(err)
 			}
 			b := res.Breakdown()
+			m := res.Metrics
 			fmt.Printf("  %-10.10s %-26s %s  src w/d/c=%d/%d/%d buf p/f=%d/%d\n",
 				v.Name, res.Attack, res.Tally,
 				b.FromWiGLE, b.FromDirect, b.FromCarrier, b.FromPopularity, b.FromFreshness)
+			fmt.Printf("    metrics: replies=%.0f responses=%.0f harvested=%.0f adaptations=%.0f pb/fb=%.0f/%.0f\n",
+				m.Value("core_broadcast_replies"),
+				m.Value("attack_probe_responses_sent"),
+				m.Value("core_harvested_ssids"),
+				m.Value("core_adaptations"),
+				m.Value("core_pb_size"), m.Value("core_fb_size"))
 			return res
 		}
 		run(scenario.CanteenVenue(), scenario.MANA, 4)

@@ -13,11 +13,14 @@
 //	-deauth   arm the deauthentication extension
 //	-preconnected  fraction of phones arriving connected (default 0)
 //	-breakdown     print the Fig.6-style hit breakdown
+//	-metrics       print the deterministic metrics dump and journal tail
+//	-trace-out F   write a Chrome/Perfetto trace-event JSON file to F
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,13 +30,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cityhunter-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cityhunter-sim", flag.ContinueOnError)
 	var (
 		venueName    = fs.String("venue", "canteen", "passage|canteen|mall|station")
@@ -50,6 +53,8 @@ func run(args []string) error {
 		canary       = fs.Float64("canary", 0, "fraction of phones running the canary-probe detector")
 		randomizeMAC = fs.Float64("randomize-macs", 0, "fraction of phones rotating their probe MAC per scan")
 		sentinel     = fs.Bool("sentinel", false, "deploy the passive evil-twin sentinel and report its findings")
+		metrics      = fs.Bool("metrics", false, "print the metrics dump and flight-recorder tail after the run")
+		traceOut     = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (open in chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,16 +109,22 @@ func run(args []string) error {
 	} else if *preconnected > 0 {
 		opts = append(opts, cityhunter.WithPreconnected(*preconnected))
 	}
+	if *metrics {
+		opts = append(opts, cityhunter.WithMetrics(), cityhunter.WithFlightRecorder(0))
+	}
+	if *traceOut != "" {
+		opts = append(opts, cityhunter.WithPerfettoTrace())
+	}
 
 	res, err := world.Run(venue, kind, *slot, time.Duration(*minutes)*time.Minute, opts...)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("%s at the %s, %s, %d minutes\n", res.Attack, res.Venue, res.SlotLabel, *minutes)
-	fmt.Println(res.Tally)
+	fmt.Fprintf(out, "%s at the %s, %s, %d minutes\n", res.Attack, res.Venue, res.SlotLabel, *minutes)
+	fmt.Fprintln(out, res.Tally)
 	if res.Report.DeauthsSent > 0 {
-		fmt.Printf("spoofed deauthentications sent: %d\n", res.Report.DeauthsSent)
+		fmt.Fprintf(out, "spoofed deauthentications sent: %d\n", res.Report.DeauthsSent)
 	}
 	if *pcapPath != "" && res.Trace != nil {
 		f, err := os.Create(*pcapPath)
@@ -127,32 +138,66 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d captured frames to %s (dropped %d beyond the cap)\n",
+		fmt.Fprintf(out, "wrote %d captured frames to %s (dropped %d beyond the cap)\n",
 			res.Trace.Len(), *pcapPath, res.Trace.Dropped)
 		a := trace.Analyze(res.Trace.Entries())
-		fmt.Printf("capture: %d frames, %d probers (%d direct), probe interval p50=%v p90=%v\n",
+		fmt.Fprintf(out, "capture: %d frames, %d probers (%d direct), probe interval p50=%v p90=%v\n",
 			a.Frames, a.Probers, a.DirectProbers,
 			a.ProbeIntervalP50.Truncate(time.Millisecond),
 			a.ProbeIntervalP90.Truncate(time.Millisecond))
 	}
 	if res.CanaryDetections > 0 {
-		fmt.Printf("canary unmaskings by defended phones: %d\n", res.CanaryDetections)
+		fmt.Fprintf(out, "canary unmaskings by defended phones: %d\n", res.CanaryDetections)
 	}
 	if *sentinel && res.Sentinel != nil {
 		if findings := res.Sentinel.Findings(); len(findings) > 0 {
 			f := findings[0]
-			fmt.Printf("sentinel flagged %v after %v (%d lure SSIDs)\n",
+			fmt.Fprintf(out, "sentinel flagged %v after %v (%d lure SSIDs)\n",
 				f.BSSID, f.FlaggedAt.Truncate(time.Millisecond), res.Sentinel.SSIDCount(f.BSSID))
 		} else {
-			fmt.Println("sentinel flagged nothing")
+			fmt.Fprintln(out, "sentinel flagged nothing")
 		}
 	}
 	if *breakdown && res.Engine != nil {
 		b := res.Breakdown()
-		fmt.Printf("hitting SSIDs: %d from WiGLE, %d harvested, %d carrier\n",
+		fmt.Fprintf(out, "hitting SSIDs: %d from WiGLE, %d harvested, %d carrier\n",
 			b.FromWiGLE, b.FromDirect, b.FromCarrier)
-		fmt.Printf("served by: popularity side %d, freshness side %d\n",
+		fmt.Fprintf(out, "served by: popularity side %d, freshness side %d\n",
 			b.FromPopularity, b.FromFreshness)
+	}
+	if *traceOut != "" && res.Spans != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = res.Spans.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace events (%s) to %s — open in chrome://tracing or ui.perfetto.dev\n",
+			res.Spans.Len(), strings.Join(res.Spans.Categories(), ", "), *traceOut)
+	}
+	if *metrics && res.Metrics != nil {
+		fmt.Fprintln(out, "--- metrics ---")
+		if err := res.Metrics.WriteText(out); err != nil {
+			return err
+		}
+		if res.Journal != nil {
+			events := res.Journal.Events()
+			fmt.Fprintf(out, "--- flight recorder: %d events (%d overwritten) ---\n",
+				res.Journal.Len(), res.Journal.Dropped())
+			tail := events
+			if len(tail) > 10 {
+				tail = tail[len(tail)-10:]
+			}
+			for _, e := range tail {
+				fmt.Fprintf(out, "%12s %-12s %-20s %s\n",
+					e.At.Truncate(time.Millisecond), e.Type, e.Actor, e.Detail)
+			}
+		}
 	}
 	return nil
 }

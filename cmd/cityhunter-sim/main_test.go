@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMetricsAndTrace drives the acceptance path: one invocation with
+// -metrics -trace-out must print a metrics dump covering the sim, medium,
+// and engine layers, and write parseable Chrome trace-event JSON with the
+// client, scan, and attacker span categories.
+func TestRunMetricsAndTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "run.json")
+	var out bytes.Buffer
+	err := run([]string{"-minutes", "2", "-seed", "7", "-metrics", "-trace-out", traceFile}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	text := out.String()
+	for _, want := range []string{
+		"--- metrics ---",
+		"sim_events_executed",
+		"sim_queue_depth_hwm",
+		"medium_frames_sent{subtype=probe-request}",
+		"medium_frames_delivered{subtype=probe-response}",
+		"core_broadcast_replies",
+		"core_batch_size histogram",
+		"attack_probe_responses_sent",
+		"scenario_virtual_seconds 120",
+		"--- flight recorder:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, text)
+		}
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	cats := make(map[string]int)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" || e.Ph == "i" {
+			cats[e.Cat]++
+			if e.PID != 1 || e.TID == 0 {
+				t.Errorf("event %s has pid=%d tid=%d, want pid=1 tid>0", e.Name, e.PID, e.TID)
+			}
+		}
+	}
+	for _, cat := range []string{"client", "scan", "attacker"} {
+		if cats[cat] == 0 {
+			t.Errorf("trace has no %q events (cats: %v)", cat, cats)
+		}
+	}
+}
+
+// TestRunDeterministicMetrics runs the same seed twice and requires
+// byte-identical output — the determinism guarantee the metrics layer
+// makes for reproducing paper figures.
+func TestRunDeterministicMetrics(t *testing.T) {
+	invoke := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-minutes", "2", "-seed", "3", "-metrics"}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	a, b := invoke(), invoke()
+	if a != b {
+		t.Errorf("same-seed runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/sim"
 )
 
@@ -104,6 +105,10 @@ type Config struct {
 	BeaconEvery time.Duration
 	// Deauth configures the deauthentication extension.
 	Deauth DeauthConfig
+	// Obs, when non-nil, instruments the station: probe/response counters,
+	// reply-batch spans on the trace, and association/deauth journal
+	// events.
+	Obs *obs.Runtime
 }
 
 // clientInfo tracks what the attacker knows about one prober.
@@ -135,6 +140,17 @@ type Attacker struct {
 	broadcastProbesHeard int
 	deauthsSent          int
 	beaconsSent          int
+
+	// Observability handles; all nil-safe when unset.
+	journal      *obs.Journal
+	trace        *obs.Trace
+	tid          int
+	mDirect      *obs.Counter
+	mBroadcast   *obs.Counter
+	mResponses   *obs.Counter
+	mVictims     *obs.Counter
+	mDeauths     *obs.Counter
+	mBeaconsSent *obs.Counter
 }
 
 // New builds an attacker with the given strategy.
@@ -154,14 +170,28 @@ func New(engine *sim.Engine, medium *sim.Medium, strategy Strategy, cfg Config) 
 	if len(cfg.Beacons) > 0 && cfg.BeaconEvery <= 0 {
 		cfg.BeaconEvery = 20 * time.Millisecond
 	}
-	return &Attacker{
+	a := &Attacker{
 		cfg:        cfg,
 		engine:     engine,
 		medium:     medium,
 		strategy:   strategy,
 		clients:    make(map[ieee80211.MAC]*clientInfo),
 		knownAPSet: make(map[ieee80211.MAC]bool),
-	}, nil
+	}
+	if rt := cfg.Obs; rt != nil {
+		a.journal = rt.Journal
+		a.trace = rt.Trace
+		a.tid = rt.Trace.Track("attacker " + cfg.MAC.String())
+		if rt.Metrics != nil {
+			a.mDirect = rt.Metrics.Counter("attack_probes_heard", "kind", "directed")
+			a.mBroadcast = rt.Metrics.Counter("attack_probes_heard", "kind", "broadcast")
+			a.mResponses = rt.Metrics.Counter("attack_probe_responses_sent")
+			a.mVictims = rt.Metrics.Counter("attack_victims")
+			a.mDeauths = rt.Metrics.Counter("attack_deauths_sent")
+			a.mBeaconsSent = rt.Metrics.Counter("attack_beacons_sent")
+		}
+	}
+	return a, nil
 }
 
 // Addr implements sim.Station.
@@ -200,6 +230,7 @@ func (a *Attacker) scheduleBeacon(idx int) {
 			return
 		}
 		a.beaconsSent++
+		a.mBeaconsSent.Inc()
 		a.medium.Transmit(a.frame(ieee80211.Frame{
 			Subtype:          ieee80211.SubtypeBeacon,
 			DA:               ieee80211.BroadcastMAC,
@@ -244,6 +275,7 @@ func (a *Attacker) onProbe(f *ieee80211.Frame) {
 	ci := a.client(f.SA)
 	if f.IsDirectedProbe() {
 		a.directProbesHeard++
+		a.mDirect.Inc()
 		ci.directProber = true
 		known := false
 		if k, ok := a.strategy.(Knower); ok {
@@ -261,13 +293,22 @@ func (a *Attacker) onProbe(f *ieee80211.Frame) {
 		return
 	}
 	a.broadcastProbesHeard++
-	for _, ssid := range a.strategy.BroadcastReply(now, f.SA, a.cfg.MaxBroadcastReplies) {
+	a.mBroadcast.Inc()
+	batch := a.strategy.BroadcastReply(now, f.SA, a.cfg.MaxBroadcastReplies)
+	for _, ssid := range batch {
 		a.respond(f.SA, ssid)
+	}
+	if a.trace != nil && len(batch) > 0 {
+		// The batch occupies the radio until the transmit queue drains;
+		// that window is the span chrome://tracing shows per reply burst.
+		a.trace.Span("attacker", "reply-batch", a.tid, now, a.medium.TxBusyUntil(a.cfg.MAC),
+			map[string]any{"client": f.SA.String(), "ssids": len(batch)})
 	}
 }
 
 // respond sends one forged open-network probe response.
 func (a *Attacker) respond(da ieee80211.MAC, ssid string) {
+	a.mResponses.Inc()
 	a.medium.Transmit(a.frame(ieee80211.Frame{
 		Subtype:          ieee80211.SubtypeProbeResponse,
 		DA:               da,
@@ -314,6 +355,11 @@ func (a *Attacker) onAssocRequest(f *ieee80211.Frame) {
 		At:           now,
 		DirectProber: ci.directProber,
 	})
+	a.mVictims.Inc()
+	if a.journal != nil {
+		a.journal.Record(now, obs.EventAssociation, f.SA.String(),
+			fmt.Sprintf("associated via %q", f.SSID))
+	}
 	a.strategy.RecordHit(now, f.SA, f.SSID)
 }
 
@@ -334,6 +380,7 @@ func (a *Attacker) scheduleDeauthSweep() {
 		}
 		for _, ap := range a.knownAPs {
 			a.deauthsSent++
+			a.mDeauths.Inc()
 			a.medium.TransmitFrom(a.cfg.MAC, &ieee80211.Frame{
 				Subtype: ieee80211.SubtypeDeauth,
 				DA:      ieee80211.BroadcastMAC,
@@ -341,6 +388,10 @@ func (a *Attacker) scheduleDeauthSweep() {
 				BSSID:   ap,
 				Reason:  ieee80211.ReasonPrevAuthExpired,
 			})
+		}
+		if a.journal != nil && len(a.knownAPs) > 0 {
+			a.journal.Record(a.engine.Now(), obs.EventDeauthSweep, a.cfg.MAC.String(),
+				fmt.Sprintf("spoofed %d deauth broadcasts", len(a.knownAPs)))
 		}
 		a.scheduleDeauthSweep()
 	})

@@ -23,6 +23,7 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/sim"
 )
@@ -96,6 +97,9 @@ type Config struct {
 	// ieee80211.DefaultScanChannels (1, 6, 11). Each channel gets its own
 	// probe and listening window, as real scanning firmware does.
 	ScanChannels []uint8
+	// Obs, when non-nil with a Trace, renders the phone's scan cycles as
+	// spans and its association as an instant on a per-client track.
+	Obs *obs.Runtime
 }
 
 // DefaultScanInterval is a typical disconnected-phone scan period (modern
@@ -141,6 +145,11 @@ type Client struct {
 	// countermeasure state.
 	canarySSID string
 	hostile    map[ieee80211.MAC]bool
+
+	// observability state: the span track and the running scan's start.
+	trace     *obs.Trace
+	tid       int
+	scanStart time.Duration
 
 	// Stats exposes what the experiment harness needs.
 	Stats Stats
@@ -214,6 +223,11 @@ func (c *Client) State() State { return c.state }
 // DirectProber reports whether this phone discloses PNL entries.
 func (c *Client) DirectProber() bool { return c.cfg.DirectProber }
 
+// TraceTID returns the client's span-trace track id, 0 when untraced. The
+// scenario runner uses it to put lifecycle spans on the same track as the
+// client's own scan spans.
+func (c *Client) TraceTID() int { return c.tid }
+
 // PNL returns the phone's preferred network list.
 func (c *Client) PNL() pnl.List { return c.cfg.PNL }
 
@@ -224,6 +238,10 @@ func (c *Client) Start() error {
 	}
 	if err := c.medium.Attach(c); err != nil {
 		return fmt.Errorf("client: %w", err)
+	}
+	if c.cfg.Obs != nil && c.cfg.Obs.Trace != nil {
+		c.trace = c.cfg.Obs.Trace
+		c.tid = c.trace.Track("client " + c.cfg.MAC.String())
 	}
 	if c.cfg.PreconnectedBSSID != (ieee80211.MAC{}) {
 		c.state = StateConnected
@@ -275,6 +293,7 @@ func (c *Client) scan() {
 	c.responsesHeard = 0
 	c.scanChanIdx = 0
 	c.Stats.Scans++
+	c.scanStart = c.engine.Now()
 	if c.cfg.CanaryProbing {
 		// One canary SSID per scan, probed on every channel; a mimicking
 		// attacker on any channel unmasks itself before its lure batch
@@ -446,6 +465,10 @@ func (c *Client) onProbeResponse(f *ieee80211.Frame) {
 // entry.
 func (c *Client) evaluateScan() {
 	c.windowOpen = false
+	if c.trace != nil {
+		c.trace.Span("scan", "scan", c.tid, c.scanStart, c.engine.Now(),
+			map[string]any{"responses": c.responsesHeard})
+	}
 	for _, f := range c.responses {
 		if c.hostile[f.SA] {
 			// Unmasked after this response was buffered.
@@ -530,6 +553,10 @@ func (c *Client) onAssocResponse(f *ieee80211.Frame) {
 	c.Stats.ConnectedTo = c.peer
 	c.Stats.ConnectedVia = c.joinSSID
 	c.Stats.ConnectedAt = c.engine.Now()
+	if c.trace != nil {
+		c.trace.Instant("client", "associated", c.tid, c.engine.Now(),
+			map[string]any{"peer": c.peer.String(), "ssid": c.joinSSID})
+	}
 }
 
 func (c *Client) onDeauth(f *ieee80211.Frame) {

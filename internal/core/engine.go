@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
 )
 
 // BufferKind labels which selection bucket an SSID was served from; the
@@ -107,6 +109,60 @@ type Engine struct {
 
 	// scratchBatch is reused across selections to avoid allocation.
 	scratchBatch []string
+
+	// om holds the observability handles; nil when uninstrumented, which
+	// keeps the BroadcastReply hot path at a single branch.
+	om *engineObs
+}
+
+// engineObs bundles the engine's metric handles and journal.
+type engineObs struct {
+	replies     *obs.Counter
+	batch       *obs.Histogram
+	hits        [6]*obs.Counter // indexed by BufferKind
+	harvests    *obs.Counter
+	adaptations *obs.Counter
+	pbSize      *obs.Gauge
+	fbSize      *obs.Gauge
+	dbSize      *obs.Gauge
+	journal     *obs.Journal
+}
+
+// Instrument attaches the engine to an observability runtime: reply batch
+// counters and size histogram (core_broadcast_replies, core_batch_size),
+// per-buffer hit attribution (core_hits{kind=...}), harvest and adaptation
+// counters, and PB/FB/database size gauges. With a journal present it also
+// records ghost-hit and buffer-adaptation events. A nil runtime is a no-op.
+func (e *Engine) Instrument(rt *obs.Runtime) {
+	if rt == nil || (rt.Metrics == nil && rt.Journal == nil) {
+		return
+	}
+	o := &engineObs{journal: rt.Journal}
+	if rt.Metrics != nil {
+		o.replies = rt.Metrics.Counter("core_broadcast_replies")
+		o.batch = rt.Metrics.Histogram("core_batch_size", []float64{0, 10, 20, 30, 40})
+		for _, k := range []BufferKind{KindPopularity, KindPopularityGhost, KindFreshness, KindFreshnessGhost, KindMirror} {
+			o.hits[k] = rt.Metrics.Counter("core_hits", "kind", k.String())
+		}
+		o.harvests = rt.Metrics.Counter("core_harvested_ssids")
+		o.adaptations = rt.Metrics.Counter("core_adaptations")
+		o.pbSize = rt.Metrics.Gauge("core_pb_size")
+		o.fbSize = rt.Metrics.Gauge("core_fb_size")
+		o.dbSize = rt.Metrics.Gauge("core_db_size")
+	}
+	e.om = o
+	e.omSyncGauges()
+}
+
+// omSyncGauges refreshes the size gauges after a state change.
+func (e *Engine) omSyncGauges() {
+	if e.om == nil {
+		return
+	}
+	pb, fb := e.BufferSizes()
+	e.om.pbSize.Set(float64(pb))
+	e.om.fbSize.Set(float64(fb))
+	e.om.dbSize.Set(float64(e.db.len()))
 }
 
 // Name implements attack.Strategy.
@@ -207,7 +263,12 @@ func (e *Engine) HarvestDirect(_ time.Duration, sa ieee80211.MAC, ssid string) {
 	if ssid == "" {
 		return
 	}
-	if !e.db.add(ssid, SourceDirectProbe, e.cfg.HarvestWeight) {
+	if e.db.add(ssid, SourceDirectProbe, e.cfg.HarvestWeight) {
+		if e.om != nil {
+			e.om.harvests.Inc()
+			e.om.dbSize.Set(float64(e.db.len()))
+		}
+	} else {
 		e.db.bump(ssid, e.cfg.SightingWeightDelta)
 	}
 	t := e.track(sa)
@@ -277,6 +338,10 @@ func (e *Engine) BroadcastReply(_ time.Duration, sa ieee80211.MAC, limit int) []
 		}
 	}
 	e.scratchBatch = batch
+	if e.om != nil {
+		e.om.replies.Inc()
+		e.om.batch.Observe(float64(len(batch)))
+	}
 	out := make([]string, len(batch))
 	copy(out, batch)
 	return out
@@ -396,10 +461,19 @@ func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
 	}
 	e.hits = append(e.hits, HitRecord{MAC: victim, SSID: ssid, At: now, Source: source, Kind: kind})
 
+	if e.om != nil {
+		e.om.hits[kind].Inc()
+		if e.om.journal != nil && (kind == KindPopularityGhost || kind == KindFreshnessGhost) {
+			e.om.journal.Record(now, obs.EventGhostHit, victim.String(),
+				fmt.Sprintf("%s served %q", kind, ssid))
+		}
+	}
+
 	if e.cfg.Mode != ModeFull || e.cfg.DisableAdaptation {
 		return
 	}
 	regular := e.cfg.ReplyBudget - 2*e.cfg.GhostPicks
+	adapted := 0
 	switch kind {
 	case KindPopularityGhost:
 		// The Popularity Buffer proved too small: grow it at the
@@ -411,6 +485,7 @@ func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
 			delta = e.fbSize - e.cfg.MinBuffer
 		}
 		e.fbSize -= delta
+		adapted = -delta
 	case KindFreshnessGhost:
 		// And vice versa.
 		e.fbGhostHits++
@@ -419,5 +494,15 @@ func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
 			delta = regular - e.cfg.MinBuffer - e.fbSize
 		}
 		e.fbSize += delta
+		adapted = delta
+	}
+	if e.om != nil && adapted != 0 {
+		e.om.adaptations.Inc()
+		e.omSyncGauges()
+		if e.om.journal != nil {
+			pb, fb := e.BufferSizes()
+			e.om.journal.Record(now, obs.EventAdaptation, victim.String(),
+				fmt.Sprintf("%s hit moved boundary by %+d: pb=%d fb=%d", kind, adapted, pb, fb))
+		}
 	}
 }

@@ -1,0 +1,108 @@
+package obs
+
+import "time"
+
+// Journal event types. Components use these constants so analysis code can
+// filter without string guessing.
+const (
+	// EventAdaptation marks a buffer-boundary move in the City-Hunter
+	// engine.
+	EventAdaptation = "adaptation"
+	// EventGhostHit marks a capture served from a ghost list.
+	EventGhostHit = "ghost-hit"
+	// EventAssociation marks a completed evil-twin association.
+	EventAssociation = "association"
+	// EventDeauthSweep marks one spoofed-deauthentication broadcast sweep.
+	EventDeauthSweep = "deauth-sweep"
+	// EventFrameLoss marks a unicast frame lost to the loss model.
+	EventFrameLoss = "frame-loss"
+	// EventTraceDrop marks the frame capture hitting its entry cap.
+	EventTraceDrop = "trace-drop"
+)
+
+// Event is one structured, virtually-timestamped journal record.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration `json:"at"`
+	// Type is one of the Event* constants (components may add their own).
+	Type string `json:"type"`
+	// Actor identifies the subject — a MAC address or component name.
+	Actor string `json:"actor,omitempty"`
+	// Detail is a short human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultJournalCap bounds the flight recorder when no capacity is given.
+const DefaultJournalCap = 8192
+
+// Journal is the run flight recorder: a ring buffer of Events that keeps
+// the most recent capacity records and counts what it had to overwrite, so
+// a truncated journal is always distinguishable from a complete one.
+// Methods on a nil *Journal are no-ops.
+type Journal struct {
+	buf     []Event
+	start   int // index of the oldest stored event
+	n       int // stored events
+	dropped int // events overwritten by newer ones
+}
+
+// NewJournal returns a journal bounded to capacity events; capacity <= 0
+// selects DefaultJournalCap.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (j *Journal) Record(at time.Duration, typ, actor, detail string) {
+	if j == nil {
+		return
+	}
+	e := Event{At: at, Type: typ, Actor: actor, Detail: detail}
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = e
+		j.n++
+		return
+	}
+	j.buf[j.start] = e
+	j.start = (j.start + 1) % len(j.buf)
+	j.dropped++
+}
+
+// Len returns the number of stored events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return j.n
+}
+
+// Cap returns the ring capacity.
+func (j *Journal) Cap() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.buf)
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (j *Journal) Dropped() int {
+	if j == nil {
+		return 0
+	}
+	return j.dropped
+}
+
+// Events returns the stored events in chronological order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	return out
+}

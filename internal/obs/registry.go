@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; methods on a nil *Counter are no-ops.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value. Methods on a nil *Gauge are no-ops.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// SetMax stores v only if it exceeds the current value — a high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution. An observation lands in the
+// first bucket whose upper bound is >= the value; larger values land in the
+// implicit +Inf overflow bucket. Methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// metricEntry is one registered metric.
+type metricEntry struct {
+	name   string
+	labels string // canonical "k=v,k=v" form, keys sorted
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry hands out metrics keyed by name plus label pairs and snapshots
+// them in deterministic order. Lookups take a lock (they happen at
+// instrumentation time); the returned Counter/Gauge/Histogram handles are
+// unsynchronized, matching the single-threaded discrete-event engine.
+// Methods on a nil *Registry return nil handles, whose methods are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*metricEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// canonLabels renders k,v pairs in canonical sorted form. Odd trailing
+// labels are dropped.
+func canonLabels(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	return b.String()
+}
+
+// lookup finds or creates an entry, enforcing kind consistency.
+func (r *Registry) lookup(name string, kind metricKind, labels []string) *metricEntry {
+	ls := canonLabels(labels)
+	key := name + "{" + ls + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, e.kind, kind))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, labels: ls, kind: kind}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter for name and label pairs, creating it on
+// first use. labels are alternating key, value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindCounter, labels)
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindGauge, labels)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram returns the fixed-bucket histogram for name and label pairs,
+// creating it with the given upper bounds on first use (bounds must be
+// sorted ascending; later calls may pass nil bounds to reuse the existing
+// histogram).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindHistogram, labels)
+	if e.hist == nil {
+		bs := make([]float64, len(bounds))
+		copy(bs, bounds)
+		e.hist = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+	}
+	return e.hist
+}
+
+// BucketCount is one histogram bucket in a snapshot. UpperBound is +Inf for
+// the overflow bucket.
+type BucketCount struct {
+	UpperBound float64
+	Count      int64
+}
+
+// MetricPoint is one metric in a snapshot.
+type MetricPoint struct {
+	// Name and Labels identify the metric; Labels is the canonical
+	// "k=v,k=v" form.
+	Name   string
+	Labels string
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string
+	// Value is the counter or gauge value; for histograms it is the sum of
+	// observations.
+	Value float64
+	// Count is the number of observations (histograms only).
+	Count int64
+	// Buckets holds the cumulative-free per-bucket counts (histograms
+	// only).
+	Buckets []BucketCount
+}
+
+// Snapshot is an ordered dump of a registry. Equal registries produce
+// byte-identical WriteText output.
+type Snapshot []MetricPoint
+
+// Snapshot returns every registered metric sorted by (name, labels).
+// A nil registry yields a nil snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	out := make(Snapshot, 0, len(entries))
+	for _, e := range entries {
+		p := MetricPoint{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter:
+			p.Value = float64(e.counter.Value())
+		case kindGauge:
+			p.Value = e.gauge.Value()
+		case kindHistogram:
+			p.Value = e.hist.Sum()
+			p.Count = e.hist.Count()
+			p.Buckets = make([]BucketCount, len(e.hist.counts))
+			for i, c := range e.hist.counts {
+				ub := inf
+				if i < len(e.hist.bounds) {
+					ub = e.hist.bounds[i]
+				}
+				p.Buckets[i] = BucketCount{UpperBound: ub, Count: c}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// inf is the +Inf overflow bound.
+var inf = math.Inf(1)
+
+// Get returns the point for name and label pairs, if present.
+func (s Snapshot) Get(name string, labels ...string) (MetricPoint, bool) {
+	ls := canonLabels(labels)
+	for _, p := range s {
+		if p.Name == name && p.Labels == ls {
+			return p, true
+		}
+	}
+	return MetricPoint{}, false
+}
+
+// Value returns the value for name and label pairs, or 0 when absent.
+func (s Snapshot) Value(name string, labels ...string) float64 {
+	p, _ := s.Get(name, labels...)
+	return p.Value
+}
+
+// WriteText writes the snapshot as an expvar-style text dump, one metric
+// per line, in deterministic order:
+//
+//	medium_frames_sent{subtype=beacon} 42
+//	core_batch_size histogram count=12 sum=480 le20=3 le40=9 leInf=0
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, p := range s {
+		name := p.Name
+		if p.Labels != "" {
+			name += "{" + p.Labels + "}"
+		}
+		var err error
+		if p.Kind == "histogram" {
+			_, err = fmt.Fprintf(w, "%s histogram count=%d sum=%g", name, p.Count, p.Value)
+			if err == nil {
+				for _, b := range p.Buckets {
+					if b.UpperBound == inf {
+						_, err = fmt.Fprintf(w, " leInf=%d", b.Count)
+					} else {
+						_, err = fmt.Fprintf(w, " le%g=%d", b.UpperBound, b.Count)
+					}
+					if err != nil {
+						break
+					}
+				}
+				if err == nil {
+					_, err = fmt.Fprintln(w)
+				}
+			}
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", name, p.Value)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: write snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// String returns the WriteText dump.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}

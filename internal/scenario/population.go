@@ -8,6 +8,7 @@ import (
 	"cityhunter/internal/core"
 	"cityhunter/internal/ieee80211"
 	"cityhunter/internal/mobility"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/sim"
 	"cityhunter/internal/stats"
@@ -29,13 +30,14 @@ type population struct {
 	rng    *rand.Rand
 	model  *pnl.Model
 	cfg    Config
+	obs    *obs.Runtime
 
 	members []*member
 	nextMAC uint32
 }
 
-func newPopulation(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, model *pnl.Model, cfg Config) *population {
-	return &population{engine: engine, medium: medium, rng: rng, model: model, cfg: cfg}
+func newPopulation(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, model *pnl.Model, cfg Config, rt *obs.Runtime) *population {
+	return &population{engine: engine, medium: medium, rng: rng, model: model, cfg: cfg, obs: rt}
 }
 
 // mac hands out unique, deterministic client MACs (locally administered).
@@ -97,6 +99,7 @@ func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path,
 		ScanInterval:  time.Duration(float64(p.cfg.ScanInterval) * (0.7 + 0.6*p.rng.Float64())),
 		CanaryProbing: p.cfg.CanaryFraction > 0 && p.rng.Float64() < p.cfg.CanaryFraction,
 		RandomizeMAC:  p.cfg.RandomizeMACFraction > 0 && p.rng.Float64() < p.cfg.RandomizeMACFraction,
+		Obs:           p.obs,
 	}
 	if p.cfg.PreconnectedFraction > 0 && p.rng.Float64() < p.cfg.PreconnectedFraction {
 		cfg.PreconnectedBSSID = legitAPMAC

@@ -15,6 +15,7 @@ import (
 	"cityhunter/internal/heatmap"
 	"cityhunter/internal/ieee80211"
 	"cityhunter/internal/mobility"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/sim"
 	"cityhunter/internal/stats"
@@ -105,12 +106,25 @@ type Config struct {
 	Sentinel bool
 	// Trace attaches a promiscuous frame recorder at the venue;
 	// Result.Trace exposes the capture. Long runs capture millions of
-	// frames — the recorder is bounded to 2^20 entries.
+	// frames — the recorder is bounded to TraceMaxEntries.
 	Trace bool
+	// TraceMaxEntries caps the frame capture; 0 means the 2^20 default.
+	TraceMaxEntries int
 	// FrameLoss drops each frame delivery independently with this
 	// probability — fading, collisions and interference the disk model
 	// otherwise ignores. 0 (the default) is the calibrated setting.
 	FrameLoss float64
+	// Metrics instruments every layer (sim engine, medium, attacker,
+	// City-Hunter engine, runner) with the observability registry;
+	// Result.Metrics holds its deterministic snapshot.
+	Metrics bool
+	// FlightRecorderCap, when positive, arms the run flight recorder: a
+	// ring-bounded journal of structured events (adaptations, ghost hits,
+	// associations, deauth sweeps, frame losses) kept in Result.Journal.
+	FlightRecorderCap int
+	// SpanTrace collects Chrome/Perfetto trace spans — client lifecycles,
+	// scan cycles, attacker reply batches — into Result.Spans.
+	SpanTrace bool
 	// ArrivalScale multiplies the venue's arrival rates (a speed knob
 	// for tests; 0 means 1).
 	ArrivalScale float64
@@ -150,8 +164,19 @@ type Result struct {
 	Sentinel *detect.Sentinel
 	// Trace is the frame capture, when Config.Trace was set.
 	Trace *trace.Monitor
+	// TraceDropped is the number of frames the capture dropped past its
+	// cap — nonzero means Trace is truncated, not complete.
+	TraceDropped int
 	// CanaryDetections sums the clients' canary unmaskings.
 	CanaryDetections int
+	// Metrics is the deterministic metrics snapshot, when Config.Metrics
+	// was set.
+	Metrics obs.Snapshot
+	// Journal is the run flight recorder, when Config.FlightRecorderCap
+	// was positive.
+	Journal *obs.Journal
+	// Spans is the Perfetto span trace, when Config.SpanTrace was set.
+	Spans *obs.Trace
 }
 
 // Breakdown returns the Fig. 6 classification of the SSIDs that hit
@@ -214,6 +239,24 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 	}
 	medium := sim.NewMedium(engine, cfg.Venue.RadioRange, mediumOpts...)
 
+	// Observability: one runtime feeds every instrumented layer. It never
+	// consumes run randomness, so enabling it cannot perturb a seed.
+	var rt *obs.Runtime
+	if cfg.Metrics || cfg.FlightRecorderCap > 0 || cfg.SpanTrace {
+		rt = &obs.Runtime{}
+		if cfg.Metrics {
+			rt.Metrics = obs.NewRegistry()
+		}
+		if cfg.FlightRecorderCap > 0 {
+			rt.Journal = obs.NewJournal(cfg.FlightRecorderCap)
+		}
+		if cfg.SpanTrace {
+			rt.Trace = obs.NewTrace()
+		}
+		engine.Instrument(rt)
+		medium.Instrument(rt)
+	}
+
 	pnlModel := cfg.PNL
 	if pnlModel == nil {
 		var err error
@@ -242,10 +285,14 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 		// the base station to follow suit.
 		maxReplies = cfg.CoreConfig.ReplyBudget
 	}
+	if chEngine != nil {
+		chEngine.Instrument(rt)
+	}
 	atk, err := attack.New(engine, medium, strategy, attack.Config{
 		MAC:                 attackerMAC,
 		Pos:                 cfg.Venue.Position,
 		Channel:             6,
+		Obs:                 rt,
 		MaxBroadcastReplies: maxReplies,
 		RespondToDirect:     respondToDirect,
 		CautiousMirror:      cfg.CautiousMirror,
@@ -291,7 +338,17 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 		monitor = trace.NewMonitor(engine,
 			ieee80211.MAC{0x0a, 0x28, 0xca, 0x72, 0x00, 0x01},
 			cfg.Venue.Position.Add(geo.Pt(10, -5)))
-		monitor.MaxEntries = 1 << 20
+		monitor.MaxEntries = cfg.TraceMaxEntries
+		if monitor.MaxEntries == 0 {
+			monitor.MaxEntries = 1 << 20
+		}
+		if rt != nil {
+			journal := rt.Journal
+			monitor.OnFirstDrop = func() {
+				journal.Record(engine.Now(), obs.EventTraceDrop, "trace-monitor",
+					fmt.Sprintf("capture reached its %d-entry cap; subsequent frames dropped", monitor.MaxEntries))
+			}
+		}
 		if err := medium.AttachPromiscuous(monitor); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
@@ -327,7 +384,7 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
-	pop := newPopulation(engine, medium, rng, pnlModel, cfg)
+	pop := newPopulation(engine, medium, rng, pnlModel, cfg, rt)
 	groups := cfg.Venue.Groups(slot)
 	for i := 0; i < len(arrivals); {
 		at := arrivals[i] - slotStart
@@ -371,7 +428,42 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 	for _, v := range res.Victims {
 		res.HitsByVictimDirect[v.MAC] = v.DirectProber
 	}
+	if monitor != nil {
+		res.TraceDropped = monitor.Dropped
+	}
+	if rt != nil {
+		finishObservability(rt, engine, pop, res)
+	}
 	return res, nil
+}
+
+// finishObservability emits the end-of-run telemetry: one lifecycle span
+// per phone, runner-level tallies in the registry, and the snapshot/journal
+// /trace attachments on the Result.
+func finishObservability(rt *obs.Runtime, engine *sim.Engine, pop *population, res *Result) {
+	now := engine.Now()
+	if rt.Trace != nil {
+		for _, m := range pop.members {
+			end := m.departAt
+			if end > now {
+				end = now
+			}
+			rt.Trace.Span("client", "lifecycle", m.c.TraceTID(), m.arrived, end, map[string]any{
+				"mac":    m.c.Addr().String(),
+				"direct": m.direct,
+			})
+		}
+	}
+	if rt.Metrics != nil {
+		rt.Metrics.Counter("scenario_clients").Add(int64(len(pop.members)))
+		rt.Metrics.Counter("scenario_victims").Add(int64(len(res.Victims)))
+		rt.Metrics.Counter("scenario_canary_detections").Add(int64(res.CanaryDetections))
+		rt.Metrics.Counter("scenario_trace_dropped_frames").Add(int64(res.TraceDropped))
+		rt.Metrics.Gauge("scenario_virtual_seconds").Set(now.Seconds())
+	}
+	res.Metrics = rt.Metrics.Snapshot()
+	res.Journal = rt.Journal
+	res.Spans = rt.Trace
 }
 
 // lureList derives the known-beacons SSID list: the same WiGLE seeding

@@ -10,6 +10,8 @@ package sim
 import (
 	"container/heap"
 	"time"
+
+	"cityhunter/internal/obs"
 )
 
 // Engine is a single-threaded discrete-event scheduler. Events execute in
@@ -19,6 +21,23 @@ type Engine struct {
 	seq    uint64
 	queue  eventQueue
 	halted bool
+
+	// Observability handles; nil when uninstrumented (the methods on nil
+	// handles are no-ops, so the hot path pays one branch).
+	mEvents   *obs.Counter
+	mQueueHWM *obs.Gauge
+}
+
+// Instrument attaches the engine to an observability runtime: it counts
+// executed events (sim_events_executed) and tracks the queue-depth
+// high-water mark (sim_queue_depth_hwm). A nil runtime or registry is a
+// no-op.
+func (e *Engine) Instrument(rt *obs.Runtime) {
+	if rt == nil || rt.Metrics == nil {
+		return
+	}
+	e.mEvents = rt.Metrics.Counter("sim_events_executed")
+	e.mQueueHWM = rt.Metrics.Gauge("sim_queue_depth_hwm")
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -46,6 +65,9 @@ func (e *Engine) At(t time.Duration, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if e.mQueueHWM != nil {
+		e.mQueueHWM.SetMax(float64(len(e.queue)))
+	}
 }
 
 // Run executes events until the queue is empty or the clock would pass
@@ -66,6 +88,7 @@ func (e *Engine) Run(until time.Duration) int {
 		next.fn()
 		executed++
 	}
+	e.mEvents.Add(int64(executed))
 	if e.now < until {
 		e.now = until
 	}
@@ -81,6 +104,7 @@ func (e *Engine) Step() bool {
 	next := heap.Pop(&e.queue).(*event)
 	e.now = next.at
 	next.fn()
+	e.mEvents.Inc()
 	return true
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
 )
 
 // ChannelTuner is an optional Station extension for radios parked on (or
@@ -71,6 +72,49 @@ type Medium struct {
 	FramesDelivered int
 	// FramesRetried counts unicast retransmissions after a lost frame.
 	FramesRetried int
+
+	// Observability handles, indexed by frame subtype; all nil when
+	// uninstrumented (nil handles no-op).
+	mSent        [16]*obs.Counter
+	mDelivered   [16]*obs.Counter
+	mLost        [16]*obs.Counter
+	mRetried     *obs.Counter
+	mCompactions *obs.Counter
+	journal      *obs.Journal
+}
+
+// meteredSubtypes is every management subtype the model transmits; the
+// medium pre-creates one counter set per subtype so the per-frame hot path
+// never touches the registry.
+var meteredSubtypes = []ieee80211.FrameSubtype{
+	ieee80211.SubtypeAssocRequest,
+	ieee80211.SubtypeAssocResponse,
+	ieee80211.SubtypeProbeRequest,
+	ieee80211.SubtypeProbeResponse,
+	ieee80211.SubtypeBeacon,
+	ieee80211.SubtypeAuth,
+	ieee80211.SubtypeDeauth,
+}
+
+// Instrument attaches the medium to an observability runtime: per-subtype
+// transmit/deliver/loss counters (medium_frames_sent, medium_frames_delivered,
+// medium_frames_lost), retry and compaction counters, and — when the
+// runtime carries a journal — a frame-loss event per lost unicast frame.
+func (m *Medium) Instrument(rt *obs.Runtime) {
+	if rt == nil {
+		return
+	}
+	m.journal = rt.Journal
+	if rt.Metrics == nil {
+		return
+	}
+	for _, s := range meteredSubtypes {
+		m.mSent[s&0xf] = rt.Metrics.Counter("medium_frames_sent", "subtype", s.String())
+		m.mDelivered[s&0xf] = rt.Metrics.Counter("medium_frames_delivered", "subtype", s.String())
+		m.mLost[s&0xf] = rt.Metrics.Counter("medium_frames_lost", "subtype", s.String())
+	}
+	m.mRetried = rt.Metrics.Counter("medium_frames_retried")
+	m.mCompactions = rt.Metrics.Counter("medium_compactions")
 }
 
 // rangeModel decides whether a receiver hears a transmitter. prob returns
@@ -156,7 +200,9 @@ func NewMedium(engine *Engine, radius float64, opts ...MediumOption) *Medium {
 }
 
 // receives draws whether one delivery succeeds given geometry and loss.
-func (m *Medium) receives(tx, rx geo.Point) bool {
+// A frame that was in range (reception probability > 0) but failed the draw
+// counts as lost under the given subtype.
+func (m *Medium) receives(tx, rx geo.Point, sub ieee80211.FrameSubtype) bool {
 	p := m.rng.prob(tx, rx)
 	if p <= 0 {
 		return false
@@ -164,13 +210,11 @@ func (m *Medium) receives(tx, rx geo.Point) bool {
 	if m.loss > 0 {
 		p *= 1 - m.loss
 	}
-	if p >= 1 {
-		return true
+	if p < 1 && (m.lossRNG == nil || m.lossRNG.Float64() >= p) {
+		m.mLost[sub&0xf].Inc()
+		return false
 	}
-	if m.lossRNG == nil {
-		return p >= 1
-	}
-	return m.lossRNG.Float64() < p
+	return true
 }
 
 // Attach registers s on the medium. Attaching a MAC twice is a programming
@@ -233,6 +277,7 @@ func (m *Medium) maybeCompact() {
 	if len(m.order) < 64 || len(m.index)*2 > len(m.order) {
 		return
 	}
+	m.mCompactions.Inc()
 	compact := make([]Station, 0, len(m.index))
 	for _, s := range m.order {
 		if s != nil {
@@ -284,6 +329,7 @@ func (m *Medium) TransmitFrom(tx ieee80211.MAC, f *ieee80211.Frame) time.Duratio
 	done := start + f.Airtime()
 	m.busyUntil[tx] = done
 	m.FramesSent++
+	m.mSent[f.Subtype&0xf].Inc()
 
 	m.engine.At(done, func() { m.deliver(tx, txCh, f, unicastRetryLimit) })
 	return done
@@ -341,7 +387,7 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 		if rx == nil || rx.Addr() == tx {
 			continue
 		}
-		if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos()) {
+		if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos(), f.Subtype) {
 			rx.Receive(f)
 		}
 	}
@@ -356,8 +402,9 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 			if _, live := m.index[rx.Addr()]; !live {
 				continue
 			}
-			if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos()) {
+			if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos(), f.Subtype) {
 				m.FramesDelivered++
+				m.mDelivered[f.Subtype&0xf].Inc()
 				rx.Receive(f)
 			}
 		}
@@ -374,19 +421,26 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 		// for a lost frame (which is what a real radio observes).
 		if retriesLeft > 0 {
 			m.FramesRetried++
+			m.mRetried.Inc()
 			m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
 		}
 		return
 	}
-	if m.receives(txPos, rxPos) {
+	if m.receives(txPos, rxPos, f.Subtype) {
 		m.FramesDelivered++
+		m.mDelivered[f.Subtype&0xf].Inc()
 		rx.Receive(f)
 		return
+	}
+	if m.journal != nil && m.rng.prob(txPos, rxPos) > 0 {
+		m.journal.Record(m.engine.Now(), obs.EventFrameLoss, tx.String(),
+			fmt.Sprintf("%s to %s lost, %d retries left", f.Subtype, f.DA, retriesLeft))
 	}
 	// A unicast frame in range but lost draws no ACK; the transmitter
 	// retries after another airtime, up to the 802.11 retry limit.
 	if retriesLeft > 0 && m.rng.prob(txPos, rxPos) > 0 {
 		m.FramesRetried++
+		m.mRetried.Inc()
 		m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
 	}
 }

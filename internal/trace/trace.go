@@ -46,6 +46,10 @@ type Monitor struct {
 	// are dropped and Dropped counts them.
 	MaxEntries int
 	Dropped    int
+	// OnFirstDrop, when set, is invoked exactly once — at the first frame
+	// dropped after the capture reaches MaxEntries — so callers can flag
+	// that the capture is truncated rather than complete.
+	OnFirstDrop func()
 }
 
 var _ sim.Station = (*Monitor)(nil)
@@ -66,6 +70,9 @@ func (m *Monitor) Pos() geo.Point { return m.pos }
 func (m *Monitor) Receive(f *ieee80211.Frame) {
 	if m.MaxEntries > 0 && len(m.entries) >= m.MaxEntries {
 		m.Dropped++
+		if m.Dropped == 1 && m.OnFirstDrop != nil {
+			m.OnFirstDrop()
+		}
 		return
 	}
 	m.entries = append(m.entries, Entry{

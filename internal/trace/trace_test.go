@@ -89,6 +89,37 @@ func TestMonitorBounded(t *testing.T) {
 	}
 }
 
+func TestMonitorOnFirstDrop(t *testing.T) {
+	engine, medium, mon := monitorFixture(t)
+	mon.MaxEntries = 2
+	fired := 0
+	var firedAtDropped int
+	mon.OnFirstDrop = func() {
+		fired++
+		firedAtDropped = mon.Dropped
+	}
+	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
+	if err := medium.Attach(tx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		medium.Transmit(&ieee80211.Frame{
+			Subtype: ieee80211.SubtypeProbeRequest,
+			DA:      ieee80211.BroadcastMAC, SA: tx.addr,
+		})
+	}
+	engine.Run(time.Second)
+	if fired != 1 {
+		t.Errorf("OnFirstDrop fired %d times, want exactly once", fired)
+	}
+	if firedAtDropped != 1 {
+		t.Errorf("OnFirstDrop saw Dropped = %d, want 1", firedAtDropped)
+	}
+	if mon.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", mon.Dropped)
+	}
+}
+
 func TestFilterAndSummary(t *testing.T) {
 	engine, medium, mon := monitorFixture(t)
 	tx := &beeper{addr: ieee80211.MAC{0x02, 0, 0, 0, 0, 1}, pos: geo.Pt(10, 0)}
