@@ -7,6 +7,7 @@
 package cityhunter_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func BenchmarkTable1(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(w, benchOptions())
+		res, err := experiments.Table1(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func BenchmarkFigure1(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure1(w, benchOptions())
+		res, err := experiments.Figure1(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkTable2(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(w, benchOptions())
+		res, err := experiments.Table2(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkFigure2(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2(w, benchOptions())
+		res, err := experiments.Figure2(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkTable3(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table3(w, benchOptions())
+		res, err := experiments.Table3(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func BenchmarkTable4(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table4(w, benchOptions())
+		res, err := experiments.Table4(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkFigure4(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure4(w, benchOptions())
+		res, err := experiments.Figure4(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFigure5(b *testing.B) {
 	opts.SlotDuration = 5 * time.Minute
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		grid, err := experiments.Grid(w, opts)
+		grid, err := experiments.Grid(context.Background(), w, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func BenchmarkFigure6(b *testing.B) {
 	opts.SlotDuration = 5 * time.Minute
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		grid, err := experiments.Grid(w, opts)
+		grid, err := experiments.Grid(context.Background(), w, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func BenchmarkExtensions(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Extensions(w, benchOptions())
+		res, err := experiments.Extensions(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +203,7 @@ func BenchmarkAblation(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Ablation(w, benchOptions())
+		res, err := experiments.Ablation(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func BenchmarkCountermeasures(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Countermeasures(w, benchOptions())
+		res, err := experiments.Countermeasures(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func BenchmarkRobustness(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Robustness(w, benchOptions(), 3)
+		res, err := experiments.Robustness(context.Background(), w, benchOptions(), 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -272,7 +273,7 @@ func BenchmarkSensitivity(b *testing.B) {
 	w := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Sensitivity(w, benchOptions())
+		res, err := experiments.Sensitivity(context.Background(), w, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

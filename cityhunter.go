@@ -26,10 +26,12 @@
 package cityhunter
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"cityhunter/internal/campaign"
 	"cityhunter/internal/citygen"
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
@@ -58,6 +60,18 @@ type (
 	AttackKind = scenario.AttackKind
 	Result     = scenario.Result
 	CoreConfig = core.Config
+	// RunConfig is the raw per-run configuration RunOptions assemble. It
+	// is exposed for RunSpec.Configure hooks; most callers never touch it
+	// directly.
+	RunConfig = scenario.Config
+
+	// Campaigns: declarative multi-run orchestration over a bounded
+	// worker pool (see World.RunCampaign).
+	RunSpec           = campaign.Spec
+	CampaignPool      = campaign.Pool
+	CampaignProgress  = campaign.Progress
+	CampaignResult    = campaign.Outcome
+	CampaignAggregate = campaign.Aggregate
 
 	// Metrics.
 	Tally     = stats.Tally
@@ -126,6 +140,19 @@ var (
 	SaveVenue = scenario.SaveVenue
 	// LoadVenue reads and validates a venue written by SaveVenue.
 	LoadVenue = scenario.LoadVenue
+)
+
+// Campaign persistence, re-exported: run specs round-trip through a
+// declarative JSON format mirroring the venue files, so whole evaluations
+// can be shared as spec files (see cmd/cityhunter-sim's -campaign-file
+// flag). RunSpec.Configure hooks are programmatic-only and not serialised.
+var (
+	// SaveCampaign writes run specs as JSON.
+	SaveCampaign = campaign.Save
+	// LoadCampaign reads and validates specs written by SaveCampaign (or
+	// hand-written: venues may be referenced by built-in name). Errors
+	// name the offending run and field.
+	LoadCampaign = campaign.Load
 )
 
 // Venue constructors, re-exported.
@@ -394,26 +421,78 @@ func WithPerfettoTrace() RunOption {
 	return runOptionFunc(func(o *runOptions) { o.cfg.SpanTrace = true })
 }
 
-// Run deploys the chosen attacker at the venue for one test: the venue's
-// slot-th hour (slot 0 is 8am–9am) truncated to the given duration. The
-// attacker's database is re-initialised for every run, as in the paper.
-func (w *World) Run(venue Venue, kind AttackKind, slot int, duration time.Duration, opts ...RunOption) (*Result, error) {
-	o := runOptions{cfg: scenario.Config{
+// baseRunConfig is the shared per-run configuration every entry point —
+// Run, RunContext, RunCampaign — starts from: the world handles, the world
+// seed, and the paper's calibrated defaults.
+func (w *World) baseRunConfig() scenario.Config {
+	return scenario.Config{
 		City:                 w.City,
 		HeatMap:              w.Heat,
 		PNL:                  w.PNL,
 		WiGLE:                w.WiGLE,
-		Venue:                venue,
-		Attack:               kind,
 		DirectProberFraction: 0.15,
 		Seed:                 w.seed,
-	}}
+	}
+}
+
+// ApplyOptions applies RunOptions to a raw run configuration — the bridge
+// between the functional-option surface and the declarative
+// RunSpec.Configure hooks of campaigns.
+func ApplyOptions(cfg *RunConfig, opts ...RunOption) {
+	o := runOptions{cfg: *cfg}
 	for _, opt := range opts {
 		opt.applyRun(&o)
 	}
-	res, err := scenario.Run(o.cfg, slot, duration)
+	*cfg = o.cfg
+}
+
+// Run deploys the chosen attacker at the venue for one test: the venue's
+// slot-th hour (slot 0 is 8am–9am) truncated to the given duration. The
+// attacker's database is re-initialised for every run, as in the paper.
+// It is RunContext with a background context.
+func (w *World) Run(venue Venue, kind AttackKind, slot int, duration time.Duration, opts ...RunOption) (*Result, error) {
+	return w.RunContext(context.Background(), venue, kind, slot, duration, opts...)
+}
+
+// RunContext is the primary run entry point: Run, plus cancellation. The
+// context is polled inside the simulation event loop, so cancelling stops
+// a mid-flight run promptly.
+//
+// Cancellation semantics: when ctx is cancelled mid-run, RunContext
+// returns the partial Result — outcomes, tally, victims and observability
+// attachments for the virtual time actually simulated, with
+// Result.Duration truncated to that time — together with a non-nil error
+// for which errors.Is(err, ctx.Err()) holds. Errors detected before the
+// simulation starts (bad slot, bad fractions) return a nil Result.
+func (w *World) RunContext(ctx context.Context, venue Venue, kind AttackKind, slot int, duration time.Duration, opts ...RunOption) (*Result, error) {
+	cfg := w.baseRunConfig()
+	cfg.Venue = venue
+	cfg.Attack = kind
+	ApplyOptions(&cfg, opts...)
+	res, err := scenario.RunContext(ctx, cfg, slot, duration)
 	if err != nil {
-		return nil, fmt.Errorf("cityhunter: %w", err)
+		return res, fmt.Errorf("cityhunter: %w", err)
 	}
 	return res, nil
+}
+
+// RunCampaign fans the given run specs out over a bounded worker pool and
+// aggregates their results deterministically: per-spec seeds derive from
+// the spec (or the world seed and spec index when unset), results and the
+// mean/CI aggregate land in spec order, and the numbers are byte-identical
+// at any worker count. Progress streams through pool.OnProgress as runs
+// finish.
+//
+// Cancelling ctx stops dispatch, halts in-flight runs promptly (their
+// partial results are kept alongside their context errors), and returns
+// the completed runs together with ctx.Err(). A hard spec failure cancels
+// the rest of the campaign the same way and is reported with its spec
+// index and name.
+func (w *World) RunCampaign(ctx context.Context, specs []RunSpec, pool CampaignPool) (*CampaignResult, error) {
+	c := &campaign.Campaign{
+		Base:  w.baseRunConfig(),
+		Specs: specs,
+		Pool:  pool,
+	}
+	return c.Run(ctx)
 }

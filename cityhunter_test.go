@@ -1,6 +1,8 @@
 package cityhunter_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -216,5 +218,45 @@ func TestSparseCityLowersHitRate(t *testing.T) {
 	if s.BroadcastHitRate() >= d.BroadcastHitRate() {
 		t.Errorf("sparse h_b %.3f not below dense %.3f: a thin public-WiFi ecosystem should starve the seeding",
 			s.BroadcastHitRate(), d.BroadcastHitRate())
+	}
+}
+
+// TestRunContextCancellation pins the documented contract: a cancelled
+// context yields a partial Result (the accounting up to the stop point)
+// together with an error wrapping ctx.Err().
+func TestRunContextCancellation(t *testing.T) {
+	w := apiWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 10*time.Minute, cityhunter.WithArrivalScale(0.4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	if res.Duration >= 10*time.Minute {
+		t.Errorf("partial result claims full duration %v", res.Duration)
+	}
+}
+
+// TestRunContextMatchesRun: Run is a plain wrapper, so both entry points
+// must agree byte for byte at the same seed.
+func TestRunContextMatchesRun(t *testing.T) {
+	w := apiWorld(t)
+	opts := []cityhunter.RunOption{cityhunter.WithArrivalScale(0.4), cityhunter.WithRunSeed(9)}
+	a, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 4*time.Minute, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.RunContext(context.Background(), cityhunter.CanteenVenue(), cityhunter.CityHunter,
+		cityhunter.LunchSlot, 4*time.Minute, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tally != b.Tally {
+		t.Errorf("Run and RunContext diverged:\n%v\n%v", a.Tally, b.Tally)
 	}
 }

@@ -15,13 +15,21 @@
 //	-breakdown     print the Fig.6-style hit breakdown
 //	-metrics       print the deterministic metrics dump and journal tail
 //	-trace-out F   write a Chrome/Perfetto trace-event JSON file to F
+//
+// Campaign mode: -campaign-file F loads a JSON campaign spec file (see
+// cityhunter.SaveCampaign/LoadCampaign) and runs every declared deployment
+// over the campaign worker pool instead of the single run the flags above
+// describe; -parallel bounds the pool. Ctrl-C cancels mid-campaign and the
+// completed runs are still reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -30,13 +38,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cityhunter-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cityhunter-sim", flag.ContinueOnError)
 	var (
 		venueName    = fs.String("venue", "canteen", "passage|canteen|mall|station")
@@ -55,9 +65,15 @@ func run(args []string, out io.Writer) error {
 		sentinel     = fs.Bool("sentinel", false, "deploy the passive evil-twin sentinel and report its findings")
 		metrics      = fs.Bool("metrics", false, "print the metrics dump and flight-recorder tail after the run")
 		traceOut     = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (open in chrome://tracing)")
+		campaignFile = fs.String("campaign-file", "", "run the campaign declared in this JSON spec file instead of a single deployment")
+		parallel     = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *campaignFile != "" {
+		return runCampaign(ctx, out, *campaignFile, *seed, *parallel)
 	}
 
 	var venue cityhunter.Venue
@@ -200,6 +216,56 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runCampaign loads a campaign spec file and fans its runs over the worker
+// pool. Per-run rows print in spec order once everything (that was allowed
+// to) finished, so output is identical at any -parallel value; progress goes
+// to stderr. On cancellation the completed runs still print before the
+// error is returned.
+func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, parallel int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	specs, err := cityhunter.LoadCampaign(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	pool := cityhunter.CampaignPool{
+		Workers: parallel,
+		OnProgress: func(p cityhunter.CampaignProgress) {
+			status := "done"
+			if p.Err != nil {
+				status = p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %s\n", p.Done, p.Total, p.Name, status)
+		},
+	}
+
+	res, runErr := world.RunCampaign(ctx, specs, pool)
+	fmt.Fprintf(out, "campaign %s: %d runs, %d completed\n", path, len(specs), res.Completed)
+	for i, spec := range specs {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("run %d", i)
+		}
+		if res.Errs[i] != nil {
+			fmt.Fprintf(out, "%-24s %s\n", name, res.Errs[i])
+			continue
+		}
+		r := res.Results[i]
+		fmt.Fprintf(out, "%-24s %s at the %s, %s: %v\n",
+			name, r.Attack, r.Venue, r.SlotLabel, r.Tally)
+	}
+	fmt.Fprintln(out, res.Aggregate.String())
+	return runErr
 }
 
 func venueByName(name string) (cityhunter.Venue, error) {

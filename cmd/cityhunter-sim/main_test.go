@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -16,7 +17,7 @@ import (
 func TestRunMetricsAndTrace(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "run.json")
 	var out bytes.Buffer
-	err := run([]string{"-minutes", "2", "-seed", "7", "-metrics", "-trace-out", traceFile}, &out)
+	err := run(context.Background(), []string{"-minutes", "2", "-seed", "7", "-metrics", "-trace-out", traceFile}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -83,7 +84,7 @@ func TestRunMetricsAndTrace(t *testing.T) {
 func TestRunDeterministicMetrics(t *testing.T) {
 	invoke := func() string {
 		var out bytes.Buffer
-		if err := run([]string{"-minutes", "2", "-seed", "3", "-metrics"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-minutes", "2", "-seed", "3", "-metrics"}, &out); err != nil {
 			t.Fatalf("run: %v", err)
 		}
 		return out.String()
@@ -91,5 +92,55 @@ func TestRunDeterministicMetrics(t *testing.T) {
 	a, b := invoke(), invoke()
 	if a != b {
 		t.Errorf("same-seed runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestRunCampaignFile drives the -campaign-file path: rows print in spec
+// order with the aggregate line, and output is identical at any -parallel.
+func TestRunCampaignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	spec := `{"runs": [
+		{"name": "lunch", "venue": "canteen", "attack": "cityhunter", "slot": 4, "minutes": 2, "arrivalScale": 0.4},
+		{"name": "rush", "venue": "passage", "attack": "mana", "slot": 0, "minutes": 2, "arrivalScale": 0.4}
+	]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invoke := func(parallel string) string {
+		var out bytes.Buffer
+		err := run(context.Background(),
+			[]string{"-campaign-file", path, "-seed", "3", "-parallel", parallel}, &out)
+		if err != nil {
+			t.Fatalf("run -parallel %s: %v", parallel, err)
+		}
+		return out.String()
+	}
+	serial := invoke("1")
+	for _, want := range []string{"2 runs, 2 completed", "lunch", "rush", "pooled 95% CI"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, serial)
+		}
+	}
+	if i, j := strings.Index(serial, "lunch"), strings.Index(serial, "rush"); i > j {
+		t.Error("rows not in spec order")
+	}
+	if parallel := invoke("2"); parallel != serial {
+		t.Errorf("-parallel 2 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestRunCampaignFileBadSpec: load errors surface with the offending run
+// named, before any simulation starts.
+func TestRunCampaignFileBadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	spec := `{"runs": [{"name": "x", "venue": "casino", "attack": "karma", "slot": 0, "minutes": 5}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-campaign-file", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), `unknown venue "casino"`) {
+		t.Fatalf("err = %v, want unknown-venue complaint", err)
 	}
 }

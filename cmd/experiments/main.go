@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -25,13 +27,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		seed        = fs.Int64("seed", 1, "world seed")
@@ -42,6 +46,8 @@ func run(args []string) error {
 		replicas    = fs.Int("replicas", 5, "seeds for the robustness replication")
 		jsonPath    = fs.String("json", "", "also write every generated result as JSON to this file")
 		mdPath      = fs.String("markdown", "", "also write a paper-vs-measured markdown report to this file")
+		parallel    = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		progress    = fs.Bool("progress", false, "stream per-run campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +93,16 @@ func run(args []string) error {
 		SlotDuration: time.Duration(*slotMinutes) * time.Minute,
 		ArrivalScale: *scale,
 	}
+	opts.Pool.Workers = *parallel
+	if *progress {
+		opts.Pool.OnProgress = func(p cityhunter.CampaignProgress) {
+			status := "ok"
+			if p.Err != nil {
+				status = p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %s\n", p.Done, p.Total, p.Name, status)
+		}
+	}
 
 	collected := make(map[string]any)
 
@@ -95,18 +111,18 @@ func run(args []string) error {
 		run  func() (fmt.Stringer, error)
 	}
 	jobs := []job{
-		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(world, opts) }},
-		{"figure1", func() (fmt.Stringer, error) { return experiments.Figure1(world, opts) }},
-		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(world, opts) }},
-		{"figure2", func() (fmt.Stringer, error) { return experiments.Figure2(world, opts) }},
-		{"table3", func() (fmt.Stringer, error) { return experiments.Table3(world, opts) }},
-		{"table4", func() (fmt.Stringer, error) { return experiments.Table4(world, opts) }},
-		{"figure4", func() (fmt.Stringer, error) { return experiments.Figure4(world, opts) }},
-		{"extensions", func() (fmt.Stringer, error) { return experiments.Extensions(world, opts) }},
-		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablation(world, opts) }},
-		{"countermeasures", func() (fmt.Stringer, error) { return experiments.Countermeasures(world, opts) }},
-		{"robustness", func() (fmt.Stringer, error) { return experiments.Robustness(world, opts, *replicas) }},
-		{"sensitivity", func() (fmt.Stringer, error) { return experiments.Sensitivity(world, opts) }},
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(ctx, world, opts) }},
+		{"figure1", func() (fmt.Stringer, error) { return experiments.Figure1(ctx, world, opts) }},
+		{"table2", func() (fmt.Stringer, error) { return experiments.Table2(ctx, world, opts) }},
+		{"figure2", func() (fmt.Stringer, error) { return experiments.Figure2(ctx, world, opts) }},
+		{"table3", func() (fmt.Stringer, error) { return experiments.Table3(ctx, world, opts) }},
+		{"table4", func() (fmt.Stringer, error) { return experiments.Table4(ctx, world, opts) }},
+		{"figure4", func() (fmt.Stringer, error) { return experiments.Figure4(ctx, world, opts) }},
+		{"extensions", func() (fmt.Stringer, error) { return experiments.Extensions(ctx, world, opts) }},
+		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablation(ctx, world, opts) }},
+		{"countermeasures", func() (fmt.Stringer, error) { return experiments.Countermeasures(ctx, world, opts) }},
+		{"robustness", func() (fmt.Stringer, error) { return experiments.Robustness(ctx, world, opts, *replicas) }},
+		{"sensitivity", func() (fmt.Stringer, error) { return experiments.Sensitivity(ctx, world, opts) }},
 	}
 	for _, j := range jobs {
 		if !want(j.name) {
@@ -124,7 +140,7 @@ func run(args []string) error {
 
 	if want("figure5") || want("figure6") {
 		t0 := time.Now()
-		grid, err := experiments.Grid(world, opts)
+		grid, err := experiments.Grid(ctx, world, opts)
 		if err != nil {
 			return err
 		}

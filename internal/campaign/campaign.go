@@ -1,0 +1,347 @@
+// Package campaign orchestrates sets of simulation runs — the shape of
+// every evaluation in the paper (the Figure 5 grid alone is 4 venues × 12
+// slots) and of every large parameter sweep beyond it.
+//
+// A campaign is a list of declarative run specs fanned out over a bounded
+// worker pool. Each spec derives its own seed, so results are byte-identical
+// regardless of worker count or completion order; aggregation (mean/CI via
+// internal/stats) happens deterministically in spec order after the pool
+// drains. The executor honors context.Context end to end: cancellation is
+// threaded through scenario.RunContext into the sim.Engine event loop, so
+// mid-flight runs stop promptly and the campaign returns the runs that
+// completed plus ctx.Err().
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cityhunter/internal/scenario"
+	"cityhunter/internal/stats"
+)
+
+// Spec declares one run of a campaign. The zero value of every optional
+// field means "inherit from the campaign base configuration".
+type Spec struct {
+	// Name labels the run in progress callbacks and reports.
+	Name string
+	// Venue is the deployment site.
+	Venue scenario.Venue
+	// Attack selects the strategy.
+	Attack scenario.AttackKind
+	// Slot is the hour slot (0 = the profile's first hour).
+	Slot int
+	// Duration is the run length.
+	Duration time.Duration
+	// Seed overrides the run seed. 0 derives a per-spec seed from the
+	// campaign base seed and the spec index (base*1000 + index + 1), so
+	// specs decorrelate by default.
+	Seed int64
+
+	// Declarative knobs. Pointer fields distinguish "unset" (inherit the
+	// base configuration) from an explicit zero. These fields — unlike
+	// Configure — survive SaveCampaign/LoadCampaign round trips.
+	DirectProberFraction *float64
+	ScanInterval         *time.Duration
+	ArrivalScale         *float64
+	FrameLoss            *float64
+	CanaryFraction       *float64
+	RandomizeMACFraction *float64
+	PreconnectedFraction *float64
+	Deauth               bool
+	Sentinel             bool
+	CautiousMirror       bool
+
+	// Configure, when non-nil, mutates the fully assembled run
+	// configuration last — the programmatic escape hatch for knobs the
+	// declarative fields do not cover (core-engine ablations, WiGLE
+	// resampling, sampling periods). It is not serialised by SaveCampaign.
+	Configure func(*scenario.Config)
+}
+
+// Pool configures the campaign worker pool.
+type Pool struct {
+	// Workers bounds concurrent runs. 0 selects GOMAXPROCS; 1 forces
+	// serial execution. Results are identical either way.
+	Workers int
+	// OnProgress, when non-nil, is invoked (serially, from pool
+	// goroutines) after each spec finishes, successfully or not.
+	OnProgress func(Progress)
+}
+
+// Progress reports one finished spec.
+type Progress struct {
+	// Index is the spec's position in Campaign.Specs.
+	Index int
+	// Name is the spec's label.
+	Name string
+	// Err is the spec's error, nil on success.
+	Err error
+	// Done counts specs finished so far (including this one); Total is
+	// the campaign size.
+	Done, Total int
+}
+
+// Campaign is a set of runs over one world.
+type Campaign struct {
+	// Base is the shared run configuration: the world handles (city, heat
+	// map, PNL model, WiGLE snapshot), the base seed, and any defaults
+	// specs inherit. Venue, Attack and Seed are overridden per spec.
+	Base scenario.Config
+	// Specs lists the runs. Order defines result order and default seed
+	// derivation, never execution order.
+	Specs []Spec
+	// Pool bounds and instruments the fan-out.
+	Pool Pool
+}
+
+// Aggregate summarises a campaign's error-free runs, in spec order, so the
+// numbers are independent of worker count and completion order.
+type Aggregate struct {
+	// Runs counts the error-free runs aggregated here.
+	Runs int
+	// TotalClients and TotalVictims sum the tallies.
+	TotalClients int
+	TotalVictims int
+	// HitRate and BroadcastHitRate summarise the per-run rates (mean,
+	// min–max band, sample SD).
+	HitRate          stats.RateSummary
+	BroadcastHitRate stats.RateSummary
+	// BroadcastLo and BroadcastHi are the pooled Wilson 95 % interval
+	// over every broadcast client of every run.
+	BroadcastLo, BroadcastHi float64
+}
+
+// String renders the aggregate as a one-line summary.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%d runs, %d clients, %d victims, h=%v h_b=%v pooled 95%% CI [%.1f%%, %.1f%%]",
+		a.Runs, a.TotalClients, a.TotalVictims, a.HitRate, a.BroadcastHitRate,
+		100*a.BroadcastLo, 100*a.BroadcastHi)
+}
+
+// Outcome is everything a campaign produces. Results and Errs are indexed
+// by spec: a spec that never started (cancelled before dispatch) has a nil
+// Result and a nil error; a spec cancelled mid-flight keeps its partial
+// Result alongside the context error.
+type Outcome struct {
+	// Results holds each spec's run result, in spec order.
+	Results []*scenario.Result
+	// Errs holds each spec's error, in spec order.
+	Errs []error
+	// Completed counts error-free runs.
+	Completed int
+	// Aggregate is the deterministic summary over error-free runs.
+	Aggregate Aggregate
+}
+
+// Validate checks every spec and names the offending spec and field.
+func (c *Campaign) Validate() error {
+	if c.Base.City == nil || c.Base.HeatMap == nil {
+		return fmt.Errorf("campaign: base config needs a city and heat map")
+	}
+	if len(c.Specs) == 0 {
+		return fmt.Errorf("campaign: no run specs")
+	}
+	for i, s := range c.Specs {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("run %d", i)
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("campaign: spec %d (%s): duration %v must be positive", i, name, s.Duration)
+		}
+		if s.Venue.Name == "" {
+			return fmt.Errorf("campaign: spec %d (%s): venue is required", i, name)
+		}
+		if s.Slot < 0 || s.Slot >= s.Venue.Profile.Slots() {
+			return fmt.Errorf("campaign: spec %d (%s): slot %d outside venue profile (0..%d)",
+				i, name, s.Slot, s.Venue.Profile.Slots()-1)
+		}
+		if s.Attack.String() == "unknown attack" {
+			return fmt.Errorf("campaign: spec %d (%s): unknown attack kind %d", i, name, int(s.Attack))
+		}
+	}
+	return nil
+}
+
+// config assembles spec i's full run configuration from the base.
+func (c *Campaign) config(i int) scenario.Config {
+	s := c.Specs[i]
+	cfg := c.Base
+	cfg.Venue = s.Venue
+	cfg.Attack = s.Attack
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	} else {
+		cfg.Seed = c.Base.Seed*1000 + int64(i) + 1
+	}
+	if s.DirectProberFraction != nil {
+		cfg.DirectProberFraction = *s.DirectProberFraction
+	}
+	if s.ScanInterval != nil {
+		cfg.ScanInterval = *s.ScanInterval
+	}
+	if s.ArrivalScale != nil {
+		cfg.ArrivalScale = *s.ArrivalScale
+	}
+	if s.FrameLoss != nil {
+		cfg.FrameLoss = *s.FrameLoss
+	}
+	if s.CanaryFraction != nil {
+		cfg.CanaryFraction = *s.CanaryFraction
+	}
+	if s.RandomizeMACFraction != nil {
+		cfg.RandomizeMACFraction = *s.RandomizeMACFraction
+	}
+	if s.PreconnectedFraction != nil {
+		cfg.PreconnectedFraction = *s.PreconnectedFraction
+	}
+	if s.Deauth {
+		cfg.EnableDeauth = true
+	}
+	if s.Sentinel {
+		cfg.Sentinel = true
+	}
+	if s.CautiousMirror {
+		cfg.CautiousMirror = true
+	}
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	return cfg
+}
+
+// Run executes the campaign. It blocks until every dispatched run has
+// finished (no goroutine outlives the call).
+//
+// On success the error is nil and Outcome covers every spec. When ctx is
+// cancelled, dispatch stops, in-flight runs stop promptly (their partial
+// results are kept with their context errors), and Run returns the outcome
+// so far together with ctx.Err(). When a spec fails for a non-context
+// reason, the rest of the campaign is cancelled the same way and Run
+// returns the lowest-index spec error — deterministic even though several
+// specs may fail concurrently.
+func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Specs)
+	workers := c.Pool.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// An internal cancel lets the first hard failure stop the rest of the
+	// campaign the same way an external cancel would.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := &Outcome{
+		Results: make([]*scenario.Result, n),
+		Errs:    make([]error, n),
+	}
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		next   int
+		done   int
+		failed bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed || next >= n || runCtx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				cfg := c.config(i)
+				res, err := scenario.RunContext(runCtx, cfg, c.Specs[i].Slot, c.Specs[i].Duration)
+
+				mu.Lock()
+				out.Results[i] = res
+				out.Errs[i] = err
+				done++
+				if err != nil && runCtx.Err() == nil {
+					// A hard spec failure (not a cancellation): stop
+					// dispatching and cancel in-flight runs.
+					failed = true
+					cancel()
+				}
+				if c.Pool.OnProgress != nil {
+					c.Pool.OnProgress(Progress{
+						Index: i, Name: c.Specs[i].Name,
+						Err: err, Done: done, Total: n,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	out.aggregate()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	// Report the lowest-index hard failure. Runs the internal cancel swept
+	// up carry context errors; they are collateral, not the cause.
+	var firstErr error
+	firstIdx := -1
+	for i, err := range out.Errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr, firstIdx = err, i
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return out, fmt.Errorf("campaign: spec %d (%s): %w", i, c.Specs[i].Name, err)
+		}
+	}
+	if firstErr != nil {
+		return out, fmt.Errorf("campaign: spec %d (%s): %w", firstIdx, c.Specs[firstIdx].Name, firstErr)
+	}
+	return out, nil
+}
+
+// aggregate fills Outcome.Completed and Outcome.Aggregate from the
+// error-free runs, in spec order.
+func (o *Outcome) aggregate() {
+	var (
+		hitRates   []float64
+		bcastRates []float64
+		bcastHit   int
+		bcastN     int
+	)
+	for i, res := range o.Results {
+		if res == nil || o.Errs[i] != nil {
+			continue
+		}
+		o.Completed++
+		t := res.Tally
+		o.Aggregate.TotalClients += t.Total
+		o.Aggregate.TotalVictims += t.ConnectedDirect + t.ConnectedBroadcast
+		hitRates = append(hitRates, t.HitRate())
+		bcastRates = append(bcastRates, t.BroadcastHitRate())
+		bcastHit += t.ConnectedBroadcast
+		bcastN += t.Broadcast
+	}
+	o.Aggregate.Runs = o.Completed
+	o.Aggregate.HitRate = stats.SummarizeRates(hitRates)
+	o.Aggregate.BroadcastHitRate = stats.SummarizeRates(bcastRates)
+	o.Aggregate.BroadcastLo, o.Aggregate.BroadcastHi = stats.WilsonInterval(bcastHit, bcastN)
+}

@@ -1,0 +1,211 @@
+// Tests drive the campaign runner through the public cityhunter API — the
+// same path cmd/experiments and cmd/cityhunter-sim use — so the aliases and
+// World.RunCampaign wiring are covered alongside the pool itself.
+package campaign_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cityhunter"
+)
+
+var (
+	worldOnce sync.Once
+	worldVal  *cityhunter.World
+	worldErr  error
+)
+
+func testWorld(t testing.TB) *cityhunter.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		worldVal, worldErr = cityhunter.NewWorld(cityhunter.WithSeed(1))
+	})
+	if worldErr != nil {
+		t.Fatalf("NewWorld: %v", worldErr)
+	}
+	return worldVal
+}
+
+// quickSpecs builds n short mixed-venue runs.
+func quickSpecs(n int) []cityhunter.RunSpec {
+	scale := 0.4
+	specs := make([]cityhunter.RunSpec, n)
+	for i := range specs {
+		venue := cityhunter.CanteenVenue()
+		slot := cityhunter.LunchSlot
+		if i%2 == 1 {
+			venue = cityhunter.PassageVenue()
+			slot = cityhunter.MorningRushSlot
+		}
+		specs[i] = cityhunter.RunSpec{
+			Name:         fmt.Sprintf("quick %d", i),
+			Venue:        venue,
+			Attack:       cityhunter.CityHunter,
+			Slot:         slot,
+			Duration:     2 * time.Minute,
+			ArrivalScale: &scale,
+		}
+	}
+	return specs
+}
+
+// TestCampaignDeterministicAcrossWorkers is the contract the experiment
+// generators rely on: serial and 4-worker pools must produce byte-identical
+// per-run results and aggregates.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	w := testWorld(t)
+	specs := quickSpecs(6)
+	run := func(workers int) *cityhunter.CampaignResult {
+		out, err := w.RunCampaign(context.Background(), specs,
+			cityhunter.CampaignPool{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial.Completed != len(specs) || parallel.Completed != len(specs) {
+		t.Fatalf("completed %d/%d, want all %d", serial.Completed, parallel.Completed, len(specs))
+	}
+	for i := range specs {
+		if serial.Results[i].Tally != parallel.Results[i].Tally {
+			t.Errorf("spec %d tally differs: serial %+v parallel %+v",
+				i, serial.Results[i].Tally, parallel.Results[i].Tally)
+		}
+	}
+	if !reflect.DeepEqual(serial.Aggregate, parallel.Aggregate) {
+		t.Errorf("aggregates differ:\nserial:   %v\nparallel: %v",
+			serial.Aggregate, parallel.Aggregate)
+	}
+	if serial.Aggregate.Runs != len(specs) || serial.Aggregate.TotalClients == 0 {
+		t.Errorf("degenerate aggregate: %v", serial.Aggregate)
+	}
+}
+
+// TestCampaignCancellation cancels after the first completed run and checks
+// the partial outcome: completed runs are kept, the campaign reports
+// ctx.Err(), and no pool goroutine outlives the call.
+func TestCampaignCancellation(t *testing.T) {
+	w := testWorld(t)
+	specs := quickSpecs(6)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pool := cityhunter.CampaignPool{
+		Workers: 2,
+		OnProgress: func(p cityhunter.CampaignProgress) {
+			if p.Err == nil {
+				cancel()
+			}
+		},
+	}
+	out, err := w.RunCampaign(ctx, specs, pool)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Completed < 1 {
+		t.Error("no run completed before cancellation")
+	}
+	if out.Completed >= len(specs) {
+		t.Errorf("all %d runs completed; cancellation did not stop dispatch", out.Completed)
+	}
+	if out.Aggregate.Runs != out.Completed {
+		t.Errorf("aggregate covers %d runs, completed %d", out.Aggregate.Runs, out.Completed)
+	}
+	for i := range specs {
+		if out.Errs[i] == nil && out.Results[i] == nil {
+			continue // never dispatched
+		}
+		if out.Errs[i] == nil && out.Results[i].Tally.Total == 0 {
+			t.Errorf("spec %d reported success with an empty tally", i)
+		}
+	}
+
+	// The pool must not leak: every worker exits before Run returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines %d -> %d: pool leaked workers", before, n)
+	}
+}
+
+// TestCampaignPreCancelled checks the degenerate case: nothing dispatches,
+// nothing completes, ctx.Err() comes back.
+func TestCampaignPreCancelled(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := w.RunCampaign(ctx, quickSpecs(3), cityhunter.CampaignPool{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Completed != 0 {
+		t.Errorf("completed %d runs on a pre-cancelled context", out.Completed)
+	}
+}
+
+// TestCampaignValidationNamesSpec checks the error contract: a bad spec is
+// reported by index, name, and field before anything runs.
+func TestCampaignValidationNamesSpec(t *testing.T) {
+	w := testWorld(t)
+	specs := quickSpecs(2)
+	specs[1].Slot = 99
+	_, err := w.RunCampaign(context.Background(), specs, cityhunter.CampaignPool{})
+	if err == nil {
+		t.Fatal("bad slot accepted")
+	}
+	for _, want := range []string{"spec 1", "quick 1", "slot 99"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+
+	specs = quickSpecs(2)
+	specs[0].Duration = 0
+	if _, err := w.RunCampaign(context.Background(), specs, cityhunter.CampaignPool{}); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("zero duration: err = %v, want duration complaint", err)
+	}
+}
+
+// BenchmarkCampaignGrid is the CI bench smoke for the campaign runner: a
+// reduced Figure-5-style venue × slot fan-out through the default pool.
+func BenchmarkCampaignGrid(b *testing.B) {
+	w := testWorld(b)
+	scale := 0.4
+	var specs []cityhunter.RunSpec
+	for vi, venue := range cityhunter.AllVenues() {
+		for slot := 0; slot < 4; slot++ {
+			specs = append(specs, cityhunter.RunSpec{
+				Name:         fmt.Sprintf("bench %s slot %d", venue.Name, slot),
+				Venue:        venue,
+				Attack:       cityhunter.CityHunter,
+				Slot:         slot,
+				Duration:     2 * time.Minute,
+				Seed:         int64(1000 + vi*50 + slot),
+				ArrivalScale: &scale,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := w.RunCampaign(context.Background(), specs, cityhunter.CampaignPool{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Completed != len(specs) {
+			b.Fatalf("completed %d/%d", out.Completed, len(specs))
+		}
+	}
+}

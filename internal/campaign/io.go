@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cityhunter/internal/scenario"
+)
+
+// campaignFile is the JSON form of a campaign: a list of declarative run
+// specs. Venues are embedded in the SaveVenue format (or referenced by
+// built-in name in hand-written files); attacks are encoded by name.
+type campaignFile struct {
+	Runs []runFile `json:"runs"`
+}
+
+type runFile struct {
+	Name string `json:"name,omitempty"`
+	// Venue names a built-in venue (passage|canteen|mall|station);
+	// VenueSpec embeds a full venue in the SaveVenue JSON format. Exactly
+	// one must be set; SaveCampaign always writes VenueSpec.
+	Venue     string          `json:"venue,omitempty"`
+	VenueSpec json.RawMessage `json:"venueSpec,omitempty"`
+	Attack    string          `json:"attack"`
+	Slot      int             `json:"slot"`
+	Minutes   float64         `json:"minutes"`
+	Seed      int64           `json:"seed,omitempty"`
+
+	DirectProberFraction *float64 `json:"directProberFraction,omitempty"`
+	ScanIntervalSeconds  *float64 `json:"scanIntervalSeconds,omitempty"`
+	ArrivalScale         *float64 `json:"arrivalScale,omitempty"`
+	FrameLoss            *float64 `json:"frameLoss,omitempty"`
+	CanaryFraction       *float64 `json:"canaryFraction,omitempty"`
+	RandomizeMACFraction *float64 `json:"randomizeMacFraction,omitempty"`
+	PreconnectedFraction *float64 `json:"preconnectedFraction,omitempty"`
+	Deauth               bool     `json:"deauth,omitempty"`
+	Sentinel             bool     `json:"sentinel,omitempty"`
+	CautiousMirror       bool     `json:"cautiousMirror,omitempty"`
+}
+
+// attackNames maps the file encoding to attack kinds; attackFileName is the
+// canonical reverse mapping used by Save.
+var attackNames = map[string]scenario.AttackKind{
+	"karma":         scenario.KARMA,
+	"mana":          scenario.MANA,
+	"prelim":        scenario.CityHunterPreliminary,
+	"cityhunter":    scenario.CityHunter,
+	"known-beacons": scenario.KnownBeacons,
+}
+
+func attackFileName(k scenario.AttackKind) string {
+	for name, kind := range attackNames {
+		if kind == k {
+			return name
+		}
+	}
+	return ""
+}
+
+// builtinVenues resolves the by-name venue references of hand-written
+// campaign files.
+var builtinVenues = map[string]func() scenario.Venue{
+	"passage": scenario.PassageVenue,
+	"canteen": scenario.CanteenVenue,
+	"mall":    scenario.MallVenue,
+	"station": scenario.StationVenue,
+}
+
+// Save writes a campaign's specs as JSON. Only the declarative spec fields
+// are encodable: a spec carrying a Configure hook cannot round-trip and is
+// rejected by name.
+func Save(w io.Writer, specs []Spec) error {
+	cf := campaignFile{Runs: make([]runFile, len(specs))}
+	for i, s := range specs {
+		if s.Configure != nil {
+			return fmt.Errorf("campaign: spec %d (%s): Configure hooks are not serialisable", i, s.Name)
+		}
+		var venueBuf bytes.Buffer
+		if err := scenario.SaveVenue(&venueBuf, s.Venue); err != nil {
+			return fmt.Errorf("campaign: spec %d (%s): %w", i, s.Name, err)
+		}
+		attack := attackFileName(s.Attack)
+		if attack == "" {
+			return fmt.Errorf("campaign: spec %d (%s): attack kind %d not encodable", i, s.Name, int(s.Attack))
+		}
+		rf := runFile{
+			Name:                 s.Name,
+			VenueSpec:            json.RawMessage(bytes.TrimSpace(venueBuf.Bytes())),
+			Attack:               attack,
+			Slot:                 s.Slot,
+			Minutes:              s.Duration.Minutes(),
+			Seed:                 s.Seed,
+			DirectProberFraction: s.DirectProberFraction,
+			ArrivalScale:         s.ArrivalScale,
+			FrameLoss:            s.FrameLoss,
+			CanaryFraction:       s.CanaryFraction,
+			RandomizeMACFraction: s.RandomizeMACFraction,
+			PreconnectedFraction: s.PreconnectedFraction,
+			Deauth:               s.Deauth,
+			Sentinel:             s.Sentinel,
+			CautiousMirror:       s.CautiousMirror,
+		}
+		if s.ScanInterval != nil {
+			secs := s.ScanInterval.Seconds()
+			rf.ScanIntervalSeconds = &secs
+		}
+		cf.Runs[i] = rf
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cf); err != nil {
+		return fmt.Errorf("campaign: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a campaign written by Save (or hand-written in the same
+// format) and validates it, naming the offending run and field in every
+// error.
+func Load(r io.Reader) ([]Spec, error) {
+	var cf campaignFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cf); err != nil {
+		return nil, fmt.Errorf("campaign: decode: %w", err)
+	}
+	if len(cf.Runs) == 0 {
+		return nil, fmt.Errorf("campaign: file declares no runs")
+	}
+	specs := make([]Spec, len(cf.Runs))
+	for i, rf := range cf.Runs {
+		name := rf.Name
+		if name == "" {
+			name = fmt.Sprintf("run %d", i)
+		}
+		s := Spec{Name: rf.Name, Slot: rf.Slot, Seed: rf.Seed}
+		switch {
+		case rf.Venue != "" && rf.VenueSpec != nil:
+			return nil, fmt.Errorf("campaign: run %d (%s): venue and venueSpec are mutually exclusive", i, name)
+		case rf.Venue != "":
+			mk, ok := builtinVenues[rf.Venue]
+			if !ok {
+				return nil, fmt.Errorf("campaign: run %d (%s): unknown venue %q (want passage|canteen|mall|station or a venueSpec)", i, name, rf.Venue)
+			}
+			s.Venue = mk()
+		case rf.VenueSpec != nil:
+			v, err := scenario.LoadVenue(bytes.NewReader(rf.VenueSpec))
+			if err != nil {
+				return nil, fmt.Errorf("campaign: run %d (%s): venueSpec: %w", i, name, err)
+			}
+			s.Venue = v
+		default:
+			return nil, fmt.Errorf("campaign: run %d (%s): venue is required (a built-in name or a venueSpec)", i, name)
+		}
+		kind, ok := attackNames[rf.Attack]
+		if !ok {
+			return nil, fmt.Errorf("campaign: run %d (%s): unknown attack %q (want karma|mana|prelim|cityhunter|known-beacons)", i, name, rf.Attack)
+		}
+		s.Attack = kind
+		if rf.Minutes <= 0 {
+			return nil, fmt.Errorf("campaign: run %d (%s): minutes %v must be positive", i, name, rf.Minutes)
+		}
+		s.Duration = time.Duration(rf.Minutes * float64(time.Minute))
+		if rf.Slot < 0 || rf.Slot >= s.Venue.Profile.Slots() {
+			return nil, fmt.Errorf("campaign: run %d (%s): slot %d outside venue profile (0..%d)",
+				i, name, rf.Slot, s.Venue.Profile.Slots()-1)
+		}
+		for _, f := range []struct {
+			field string
+			p     *float64
+		}{
+			{"directProberFraction", rf.DirectProberFraction},
+			{"canaryFraction", rf.CanaryFraction},
+			{"randomizeMacFraction", rf.RandomizeMACFraction},
+			{"preconnectedFraction", rf.PreconnectedFraction},
+		} {
+			if f.p != nil && (*f.p < 0 || *f.p > 1) {
+				return nil, fmt.Errorf("campaign: run %d (%s): %s %v outside [0,1]", i, name, f.field, *f.p)
+			}
+		}
+		if rf.FrameLoss != nil && (*rf.FrameLoss < 0 || *rf.FrameLoss >= 1) {
+			return nil, fmt.Errorf("campaign: run %d (%s): frameLoss %v outside [0,1)", i, name, *rf.FrameLoss)
+		}
+		if rf.ArrivalScale != nil && *rf.ArrivalScale <= 0 {
+			return nil, fmt.Errorf("campaign: run %d (%s): arrivalScale %v must be positive", i, name, *rf.ArrivalScale)
+		}
+		if rf.ScanIntervalSeconds != nil {
+			if *rf.ScanIntervalSeconds <= 0 {
+				return nil, fmt.Errorf("campaign: run %d (%s): scanIntervalSeconds %v must be positive", i, name, *rf.ScanIntervalSeconds)
+			}
+			d := time.Duration(*rf.ScanIntervalSeconds * float64(time.Second))
+			s.ScanInterval = &d
+		}
+		s.DirectProberFraction = rf.DirectProberFraction
+		s.ArrivalScale = rf.ArrivalScale
+		s.FrameLoss = rf.FrameLoss
+		s.CanaryFraction = rf.CanaryFraction
+		s.RandomizeMACFraction = rf.RandomizeMACFraction
+		s.PreconnectedFraction = rf.PreconnectedFraction
+		s.Deauth = rf.Deauth
+		s.Sentinel = rf.Sentinel
+		s.CautiousMirror = rf.CautiousMirror
+		specs[i] = s
+	}
+	return specs, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -63,17 +64,37 @@ func (r *CountermeasuresResult) String() string {
 	return b.String()
 }
 
-// Countermeasures runs the defence experiments: a canary-probing share
-// sweep, and a passive sentinel deployment.
-func Countermeasures(w *cityhunter.World, o Options) (*CountermeasuresResult, error) {
-	res := &CountermeasuresResult{}
-
-	base, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
-		cityhunter.LunchSlot, o.tableDuration(),
-		o.runOpts(w, 80, cityhunter.WithSentinel())...)
-	if err != nil {
-		return nil, fmt.Errorf("countermeasures baseline: %w", err)
+// Countermeasures runs the defence experiments — a canary-probing share
+// sweep, MAC randomization, the cautious-mirror arms race, and a passive
+// sentinel deployment — as one six-run campaign. Every run reuses seed
+// offset 80, so each defence faces the same crowd as the baseline.
+func Countermeasures(ctx context.Context, w *cityhunter.World, o Options) (*CountermeasuresResult, error) {
+	canteen := cityhunter.CanteenVenue()
+	canarySharePoints := []float64{0.25, 0.5, 1.0}
+	spec := func(name string, extra ...cityhunter.RunOption) cityhunter.RunSpec {
+		return o.spec(w, name, canteen, cityhunter.CityHunter,
+			cityhunter.LunchSlot, o.tableDuration(), 80, extra...)
 	}
+	specs := []cityhunter.RunSpec{
+		spec("countermeasures baseline", cityhunter.WithSentinel()),
+	}
+	for _, share := range canarySharePoints {
+		specs = append(specs, spec(
+			fmt.Sprintf("countermeasures canary %.0f%%", 100*share),
+			cityhunter.WithCanaryClients(share)))
+	}
+	specs = append(specs,
+		spec("countermeasures randomized MACs", cityhunter.WithRandomizedMACs(1.0)),
+		spec("countermeasures arms race",
+			cityhunter.WithCanaryClients(1.0), cityhunter.WithCautiousMirror()))
+
+	out, err := o.campaign(ctx, w, specs)
+	if err != nil {
+		return nil, fmt.Errorf("countermeasures: %w", err)
+	}
+
+	res := &CountermeasuresResult{}
+	base := out.Results[0]
 	res.Baseline = base.Tally
 	if base.Sentinel != nil {
 		findings := base.Sentinel.Findings()
@@ -83,35 +104,18 @@ func Countermeasures(w *cityhunter.World, o Options) (*CountermeasuresResult, er
 			res.SentinelSSIDsSeen = base.Sentinel.SSIDCount(findings[0].BSSID)
 		}
 	}
-
-	for i, share := range []float64{0.25, 0.5, 1.0} {
-		r, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
-			cityhunter.LunchSlot, o.tableDuration(),
-			o.runOpts(w, 80, cityhunter.WithCanaryClients(share))...)
-		if err != nil {
-			return nil, fmt.Errorf("countermeasures canary %d: %w", i, err)
-		}
+	for i, share := range canarySharePoints {
+		r := out.Results[1+i]
 		res.CanaryShares = append(res.CanaryShares, CanaryPoint{
 			Share:      share,
 			Tally:      r.Tally,
 			Detections: r.CanaryDetections,
 		})
 	}
-	rnd, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
-		cityhunter.LunchSlot, o.tableDuration(),
-		o.runOpts(w, 80, cityhunter.WithRandomizedMACs(1.0))...)
-	if err != nil {
-		return nil, fmt.Errorf("countermeasures randomized MACs: %w", err)
-	}
+	rnd := out.Results[1+len(canarySharePoints)]
 	res.RandomizedMACs = rnd.Tally
 	res.RandomizedMACsSeen = rnd.Report.TotalClients
-
-	arms, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
-		cityhunter.LunchSlot, o.tableDuration(),
-		o.runOpts(w, 80, cityhunter.WithCanaryClients(1.0), cityhunter.WithCautiousMirror())...)
-	if err != nil {
-		return nil, fmt.Errorf("countermeasures arms race: %w", err)
-	}
+	arms := out.Results[2+len(canarySharePoints)]
 	res.CautiousVsCanaries = arms.Tally
 	res.CautiousVsCanariesUnmaskings = arms.CanaryDetections
 	return res, nil

@@ -4,12 +4,14 @@
 // alongside the paper's own numbers for comparison.
 //
 // The generators are shared by cmd/experiments (full-scale runs) and the
-// repository benchmarks (reduced-scale runs via Options).
+// repository benchmarks (reduced-scale runs via Options). Every generator
+// takes a context: fan-out generators run through the campaign runner
+// (cityhunter.RunCampaign), single-run generators through RunContext, so a
+// cancel stops any experiment mid-flight.
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"context"
 	"time"
 
 	"cityhunter"
@@ -24,12 +26,12 @@ type Options struct {
 	ArrivalScale float64
 	// Seed offsets the per-run seeds; 0 uses the world seed.
 	Seed int64
-	// Parallelism bounds concurrent simulation runs where an experiment
-	// fans out over independent deployments (the Figure 5/6 grid and the
-	// robustness replication). 0 selects GOMAXPROCS; 1 forces serial.
-	// Results are deterministic regardless: every run has its own seed
-	// and engine.
-	Parallelism int
+	// Pool is the shared campaign pool configuration every fan-out
+	// experiment (the Figure 5/6 grid, robustness, sensitivity,
+	// countermeasures) hands to cityhunter.RunCampaign: worker count and
+	// progress streaming. Results are deterministic regardless of worker
+	// count: every run has its own seed and engine.
+	Pool cityhunter.CampaignPool
 }
 
 // tableDuration returns the duration for the 30-minute table experiments.
@@ -66,58 +68,28 @@ func (o Options) runOpts(w *cityhunter.World, offset int64, extra ...cityhunter.
 	return append(opts, extra...)
 }
 
+// spec builds one campaign run spec carrying the harness's seed-offset and
+// scale conventions (via runOpts) plus any extra per-run options.
+func (o Options) spec(w *cityhunter.World, name string, venue cityhunter.Venue,
+	kind cityhunter.AttackKind, slot int, duration time.Duration,
+	offset int64, extra ...cityhunter.RunOption) cityhunter.RunSpec {
+	opts := o.runOpts(w, offset, extra...)
+	return cityhunter.RunSpec{
+		Name:     name,
+		Venue:    venue,
+		Attack:   kind,
+		Slot:     slot,
+		Duration: duration,
+		Configure: func(cfg *cityhunter.RunConfig) {
+			cityhunter.ApplyOptions(cfg, opts...)
+		},
+	}
+}
+
+// campaign fans the specs out over the shared pool.
+func (o Options) campaign(ctx context.Context, w *cityhunter.World, specs []cityhunter.RunSpec) (*cityhunter.CampaignResult, error) {
+	return w.RunCampaign(ctx, specs, o.Pool)
+}
+
 // pct renders a rate as a percentage.
 func pct(x float64) float64 { return 100 * x }
-
-// forEach runs fn(i) for i in [0, n) with the configured parallelism and
-// returns the first error. Each index must be independent (own run seed,
-// own simulation); output ordering is the caller's responsibility.
-func (o Options) forEach(n int, fn func(i int) error) error {
-	workers := o.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
-}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -34,7 +35,7 @@ func quickOpts() Options {
 }
 
 func TestTable1Shape(t *testing.T) {
-	res, err := Table1(testWorld(t), quickOpts())
+	res, err := Table1(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	res, err := Figure1(testWorld(t), quickOpts())
+	res, err := Figure1(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(testWorld(t), quickOpts())
+	res, err := Table2(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	res, err := Figure2(testWorld(t), quickOpts())
+	res, err := Figure2(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	res, err := Table3(testWorld(t), quickOpts())
+	res, err := Table3(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	res, err := Table4(testWorld(t), Options{})
+	res, err := Table4(context.Background(), testWorld(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	res, err := Figure4(testWorld(t), Options{})
+	res, err := Figure4(context.Background(), testWorld(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestGridShape(t *testing.T) {
 		t.Skip("48 runs")
 	}
 	opts := Options{SlotDuration: 3 * time.Minute, ArrivalScale: 0.5}
-	grid, err := Grid(testWorld(t), opts)
+	grid, err := Grid(context.Background(), testWorld(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestExtensionsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four 8-minute runs")
 	}
-	res, err := Extensions(testWorld(t), quickOpts())
+	res, err := Extensions(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("twelve runs")
 	}
-	res, err := Ablation(testWorld(t), quickOpts())
+	res, err := Ablation(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestCountermeasuresShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four runs")
 	}
-	res, err := Countermeasures(testWorld(t), quickOpts())
+	res, err := Countermeasures(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestRobustnessShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated runs")
 	}
-	res, err := Robustness(testWorld(t), quickOpts(), 3)
+	res, err := Robustness(context.Background(), testWorld(t), quickOpts(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestSensitivityShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("twelve runs")
 	}
-	res, err := Sensitivity(testWorld(t), quickOpts())
+	res, err := Sensitivity(context.Background(), testWorld(t), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,15 +352,15 @@ func TestGridParallelMatchesSerial(t *testing.T) {
 	w := testWorld(t)
 	opts := Options{SlotDuration: 90 * time.Second, ArrivalScale: 0.4}
 	serialOpts := opts
-	serialOpts.Parallelism = 1
+	serialOpts.Pool.Workers = 1
 	parallelOpts := opts
-	parallelOpts.Parallelism = 4
+	parallelOpts.Pool.Workers = 4
 
-	serial, err := Grid(w, serialOpts)
+	serial, err := Grid(context.Background(), w, serialOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Grid(w, parallelOpts)
+	parallel, err := Grid(context.Background(), w, parallelOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

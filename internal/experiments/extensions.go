@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,24 +40,24 @@ func (r *ExtensionsResult) String() string {
 }
 
 // Extensions runs the four §V-B comparisons.
-func Extensions(w *cityhunter.World, o Options) (*ExtensionsResult, error) {
+func Extensions(ctx context.Context, w *cityhunter.World, o Options) (*ExtensionsResult, error) {
 	res := &ExtensionsResult{}
 
-	off, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
+	off, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
 		o.tableDuration(), o.runOpts(w, 60, cityhunter.WithPreconnected(0.5))...)
 	if err != nil {
 		return nil, fmt.Errorf("extensions deauth-off: %w", err)
 	}
 	res.DeauthOff = off.Tally
 
-	on, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
+	on, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
 		o.tableDuration(), o.runOpts(w, 60, cityhunter.WithDeauth(0.5))...)
 	if err != nil {
 		return nil, fmt.Errorf("extensions deauth-on: %w", err)
 	}
 	res.DeauthOn = on.Tally
 
-	coff, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
+	coff, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
 		o.tableDuration(), o.runOpts(w, 61)...)
 	if err != nil {
 		return nil, fmt.Errorf("extensions carrier-off: %w", err)
@@ -66,7 +67,7 @@ func Extensions(w *cityhunter.World, o Options) (*ExtensionsResult, error) {
 
 	ccfg := core.DefaultConfig(core.ModeFull)
 	ccfg.CarrierSSIDs = w.PNL.CarrierSSIDs()
-	con, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
+	con, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunter, cityhunter.LunchSlot,
 		o.tableDuration(), o.runOpts(w, 61, cityhunter.WithCoreConfig(ccfg))...)
 	if err != nil {
 		return nil, fmt.Errorf("extensions carrier-on: %w", err)
@@ -117,7 +118,7 @@ func (r *AblationResult) String() string {
 }
 
 // Ablation runs every variant in the canteen and the passage.
-func Ablation(w *cityhunter.World, o Options) (*AblationResult, error) {
+func Ablation(ctx context.Context, w *cityhunter.World, o Options) (*AblationResult, error) {
 	full := core.DefaultConfig(core.ModeFull)
 
 	noRotate := full
@@ -154,12 +155,12 @@ func Ablation(w *cityhunter.World, o Options) (*AblationResult, error) {
 
 	res := &AblationResult{}
 	for i, v := range variants {
-		canteen, err := w.Run(cityhunter.CanteenVenue(), kindFor(v.cfg), cityhunter.LunchSlot,
+		canteen, err := w.RunContext(ctx, cityhunter.CanteenVenue(), kindFor(v.cfg), cityhunter.LunchSlot,
 			o.tableDuration(), o.runOpts(w, int64(70+i), cityhunter.WithCoreConfig(v.cfg))...)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s canteen: %w", v.name, err)
 		}
-		passage, err := w.Run(cityhunter.PassageVenue(), kindFor(v.cfg), cityhunter.MorningRushSlot,
+		passage, err := w.RunContext(ctx, cityhunter.PassageVenue(), kindFor(v.cfg), cityhunter.MorningRushSlot,
 			o.tableDuration(), o.runOpts(w, int64(70+i), cityhunter.WithCoreConfig(v.cfg))...)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s passage: %w", v.name, err)

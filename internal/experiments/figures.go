@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -44,9 +45,9 @@ func (r *Figure1Result) String() string {
 }
 
 // Figure1 runs MANA in the canteen with 2-minute sampling.
-func Figure1(w *cityhunter.World, o Options) (*Figure1Result, error) {
+func Figure1(ctx context.Context, w *cityhunter.World, o Options) (*Figure1Result, error) {
 	dur := o.tableDuration()
-	r, err := w.Run(cityhunter.CanteenVenue(), cityhunter.MANA, cityhunter.LunchSlot, dur,
+	r, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.MANA, cityhunter.LunchSlot, dur,
 		o.runOpts(w, 30, cityhunter.WithSampling(2*time.Minute))...)
 	if err != nil {
 		return nil, fmt.Errorf("figure1: %w", err)
@@ -110,13 +111,13 @@ func (r *Figure2Result) String() string {
 }
 
 // Figure2 runs the two §III experiments with the preliminary design.
-func Figure2(w *cityhunter.World, o Options) (*Figure2Result, error) {
-	canteen, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunterPreliminary,
+func Figure2(ctx context.Context, w *cityhunter.World, o Options) (*Figure2Result, error) {
+	canteen, err := w.RunContext(ctx, cityhunter.CanteenVenue(), cityhunter.CityHunterPreliminary,
 		cityhunter.LunchSlot, o.tableDuration(), o.runOpts(w, 40)...)
 	if err != nil {
 		return nil, fmt.Errorf("figure2: %w", err)
 	}
-	passage, err := w.Run(cityhunter.PassageVenue(), cityhunter.CityHunterPreliminary,
+	passage, err := w.RunContext(ctx, cityhunter.PassageVenue(), cityhunter.CityHunterPreliminary,
 		cityhunter.MorningRushSlot, o.tableDuration(), o.runOpts(w, 41)...)
 	if err != nil {
 		return nil, fmt.Errorf("figure2: %w", err)
@@ -202,7 +203,7 @@ func (r *Figure4Result) String() string {
 }
 
 // Figure4 lists the hottest cells and matches them to venues.
-func Figure4(w *cityhunter.World, _ Options) (*Figure4Result, error) {
+func Figure4(_ context.Context, w *cityhunter.World, _ Options) (*Figure4Result, error) {
 	res := &Figure4Result{}
 	for _, cell := range w.Heat.HottestCells(10) {
 		fc := Figure4Cell{Center: cell.Center.String(), Photos: cell.Photos}

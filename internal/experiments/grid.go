@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -27,42 +28,34 @@ type GridResult struct {
 // Grid runs the Figure 5/6 sweep: the full City-Hunter deployed at every
 // venue for every hour slot from 8am to 8pm, database re-initialised per
 // test. The 48 deployments are independent (the attacker restarts each
-// hour), so they run with Options.Parallelism workers; results land in a
-// fixed order regardless.
-func Grid(w *cityhunter.World, o Options) (*GridResult, error) {
+// hour), so they fan out through the campaign runner with Options.Pool
+// workers; results land in a fixed order regardless.
+func Grid(ctx context.Context, w *cityhunter.World, o Options) (*GridResult, error) {
 	venues := cityhunter.AllVenues()
-	type cell struct {
-		venue cityhunter.Venue
-		vi    int
-		slot  int
-	}
-	var cells []cell
+	var specs []cityhunter.RunSpec
 	res := &GridResult{Slots: make(map[string][]SlotResult)}
 	for vi, venue := range venues {
 		res.Venues = append(res.Venues, venue.Name)
 		res.Slots[venue.Name] = make([]SlotResult, venue.Profile.Slots())
 		for slot := 0; slot < venue.Profile.Slots(); slot++ {
-			cells = append(cells, cell{venue: venue, vi: vi, slot: slot})
+			specs = append(specs, o.spec(w,
+				fmt.Sprintf("grid %s slot %d", venue.Name, slot),
+				venue, cityhunter.CityHunter, slot, o.slotDuration(),
+				int64(100+vi*50+slot)))
 		}
 	}
-	err := o.forEach(len(cells), func(i int) error {
-		c := cells[i]
-		r, err := w.Run(c.venue, cityhunter.CityHunter, c.slot, o.slotDuration(),
-			o.runOpts(w, int64(100+c.vi*50+c.slot))...)
-		if err != nil {
-			return fmt.Errorf("grid %s slot %d: %w", c.venue.Name, c.slot, err)
-		}
-		res.Slots[c.venue.Name][c.slot] = SlotResult{
-			Venue:     c.venue.Name,
-			Slot:      c.slot,
+	out, err := o.campaign(ctx, w, specs)
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	for _, r := range out.Results {
+		res.Slots[r.Venue][r.Slot] = SlotResult{
+			Venue:     r.Venue,
+			Slot:      r.Slot,
 			SlotLabel: r.SlotLabel,
 			Tally:     r.Tally,
 			Breakdown: r.Breakdown(),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return res, nil
 }

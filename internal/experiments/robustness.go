@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,32 +34,38 @@ func (r *RobustnessResult) String() string {
 }
 
 // Robustness runs the canteen and passage deployments across replicas
-// seeds. replicas ≤ 0 selects 5.
-func Robustness(w *cityhunter.World, o Options, replicas int) (*RobustnessResult, error) {
+// seeds through the campaign runner. replicas ≤ 0 selects 5.
+func Robustness(ctx context.Context, w *cityhunter.World, o Options, replicas int) (*RobustnessResult, error) {
 	if replicas <= 0 {
 		replicas = 5
 	}
 	res := &RobustnessResult{Replicas: replicas}
 
+	// Specs interleave canteen/passage per replica; the per-replica seed
+	// offsets (200+2i, 201+2i) predate the campaign runner and are kept so
+	// seed-1 numbers stay identical.
+	var specs []cityhunter.RunSpec
+	for i := 0; i < replicas; i++ {
+		specs = append(specs,
+			o.spec(w, fmt.Sprintf("robustness canteen %d", i),
+				cityhunter.CanteenVenue(), cityhunter.CityHunter,
+				cityhunter.LunchSlot, o.tableDuration(), int64(200+2*i)),
+			o.spec(w, fmt.Sprintf("robustness passage %d", i),
+				cityhunter.PassageVenue(), cityhunter.CityHunter,
+				cityhunter.MorningRushSlot, o.tableDuration(), int64(201+2*i)))
+	}
+	out, err := o.campaign(ctx, w, specs)
+	if err != nil {
+		return nil, fmt.Errorf("robustness: %w", err)
+	}
+
 	var canteenRates, passageRates []float64
 	var cHit, cN, pHit, pN int
 	for i := 0; i < replicas; i++ {
-		canteen, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
-			cityhunter.LunchSlot, o.tableDuration(),
-			o.runOpts(w, int64(200+2*i))...)
-		if err != nil {
-			return nil, fmt.Errorf("robustness canteen %d: %w", i, err)
-		}
+		canteen, passage := out.Results[2*i], out.Results[2*i+1]
 		canteenRates = append(canteenRates, canteen.Tally.BroadcastHitRate())
 		cHit += canteen.Tally.ConnectedBroadcast
 		cN += canteen.Tally.Broadcast
-
-		passage, err := w.Run(cityhunter.PassageVenue(), cityhunter.CityHunter,
-			cityhunter.MorningRushSlot, o.tableDuration(),
-			o.runOpts(w, int64(201+2*i))...)
-		if err != nil {
-			return nil, fmt.Errorf("robustness passage %d: %w", i, err)
-		}
 		passageRates = append(passageRates, passage.Tally.BroadcastHitRate())
 		pHit += passage.Tally.ConnectedBroadcast
 		pN += passage.Tally.Broadcast

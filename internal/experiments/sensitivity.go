@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -72,80 +73,66 @@ func (r *SensitivityResult) String() string {
 	return b.String()
 }
 
-// Sensitivity runs the four sweeps.
-func Sensitivity(w *cityhunter.World, o Options) (*SensitivityResult, error) {
-	res := &SensitivityResult{}
+// Sensitivity runs the four sweeps. All 36 runs (4 sweeps × 3 points × 3
+// replicas) fan out through one campaign; the pairing and pooling happen
+// afterwards, in spec order, so the numbers match the old serial harness
+// at any worker count.
+func Sensitivity(ctx context.Context, w *cityhunter.World, o Options) (*SensitivityResult, error) {
 	venue := cityhunter.CanteenVenue()
 	// Every point pools three paired replicas: the same three crowd seeds
 	// are reused across the points of a sweep, so the knob is the only
 	// difference and the counts add up to a less noisy rate.
-	run := func(label string, seedOff int64, extra ...cityhunter.RunOption) (SensitivityPoint, error) {
-		var pooled cityhunter.Tally
+	var specs []cityhunter.RunSpec
+	type pointRef struct{ sweep, point int }
+	var refs []pointRef
+	point := func(si, pi int, label string, seedOff int64, extra ...cityhunter.RunOption) {
 		for rep := int64(0); rep < 3; rep++ {
-			r, err := w.Run(venue, cityhunter.CityHunter, cityhunter.LunchSlot,
-				o.tableDuration(), o.runOpts(w, 300+seedOff+100*rep, extra...)...)
-			if err != nil {
-				return SensitivityPoint{}, fmt.Errorf("sensitivity %s: %w", label, err)
-			}
-			pooled.Total += r.Tally.Total
-			pooled.Direct += r.Tally.Direct
-			pooled.Broadcast += r.Tally.Broadcast
-			pooled.ConnectedDirect += r.Tally.ConnectedDirect
-			pooled.ConnectedBroadcast += r.Tally.ConnectedBroadcast
+			specs = append(specs, o.spec(w,
+				fmt.Sprintf("sensitivity %s rep %d", label, rep),
+				venue, cityhunter.CityHunter, cityhunter.LunchSlot,
+				o.tableDuration(), 300+seedOff+100*rep, extra...))
+			refs = append(refs, pointRef{si, pi})
 		}
-		return SensitivityPoint{Label: label, Tally: pooled}, nil
 	}
 
-	// 1. Unsafe-phone share: more direct probers feed the database and
-	// also fall to the mirror themselves.
-	sweep := SensitivitySweep{Knob: "direct-prober fraction", Direction: "increasing"}
-	for _, f := range []float64{0.05, 0.15, 0.30} {
-		p, err := run(fmt.Sprintf("%.0f%% unsafe", 100*f), 1,
-			cityhunter.WithDirectProberFraction(f))
-		if err != nil {
-			return nil, err
-		}
-		sweep.Points = append(sweep.Points, p)
-	}
-	res.Sweeps = append(res.Sweeps, sweep)
+	res := &SensitivityResult{Sweeps: []SensitivitySweep{
+		// 1. Unsafe-phone share: more direct probers feed the database and
+		// also fall to the mirror themselves.
+		{Knob: "direct-prober fraction", Direction: "increasing"},
+		// 2. Scan interval: slower scanning means fewer reply batches per
+		// dwell, so fewer database entries get tried.
+		{Knob: "scan interval", Direction: "decreasing"},
+		// 3. WiGLE completeness: bigger crowd-sourcing gaps starve the
+		// offline seeding.
+		{Knob: "WiGLE small-network gaps", Direction: "decreasing"},
+		// 4. Reply budget: the ≤40-responses constraint itself. Larger
+		// batches try more SSIDs per scan — up to the client's physical
+		// window of ~40; beyond that the extra responses fall outside the
+		// listening window, so the sweep stops at 40.
+		{Knob: "reply budget", Direction: "increasing"},
+	}}
 
-	// 2. Scan interval: slower scanning means fewer reply batches per
-	// dwell, so fewer database entries get tried.
-	sweep = SensitivitySweep{Knob: "scan interval", Direction: "decreasing"}
-	for _, d := range []time.Duration{30 * time.Second, 60 * time.Second, 150 * time.Second} {
-		p, err := run(d.String(), 10, cityhunter.WithScanInterval(d))
-		if err != nil {
-			return nil, err
-		}
-		sweep.Points = append(sweep.Points, p)
+	for pi, f := range []float64{0.05, 0.15, 0.30} {
+		label := fmt.Sprintf("%.0f%% unsafe", 100*f)
+		res.Sweeps[0].Points = append(res.Sweeps[0].Points, SensitivityPoint{Label: label})
+		point(0, pi, label, 1, cityhunter.WithDirectProberFraction(f))
 	}
-	res.Sweeps = append(res.Sweeps, sweep)
-
-	// 3. WiGLE completeness: bigger crowd-sourcing gaps starve the
-	// offline seeding.
-	sweep = SensitivitySweep{Knob: "WiGLE small-network gaps", Direction: "decreasing"}
-	for _, miss := range []float64{0.0, 0.5, 0.95} {
+	for pi, d := range []time.Duration{30 * time.Second, 60 * time.Second, 150 * time.Second} {
+		res.Sweeps[1].Points = append(res.Sweeps[1].Points, SensitivityPoint{Label: d.String()})
+		point(1, pi, d.String(), 10, cityhunter.WithScanInterval(d))
+	}
+	for pi, miss := range []float64{0.0, 0.5, 0.95} {
 		db, err := w.City.DB.SampleCrowdsourced(rand.New(rand.NewSource(777)), miss, miss/2)
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity wigle: %w", err)
 		}
 		// Same run seed for every point: the crowd is identical, so the
 		// comparison is paired and the WiGLE knob is the only change.
-		p, err := run(fmt.Sprintf("%.0f%% missing", 100*miss), 20,
-			cityhunter.WithWiGLE(db))
-		if err != nil {
-			return nil, err
-		}
-		sweep.Points = append(sweep.Points, p)
+		label := fmt.Sprintf("%.0f%% missing", 100*miss)
+		res.Sweeps[2].Points = append(res.Sweeps[2].Points, SensitivityPoint{Label: label})
+		point(2, pi, label, 20, cityhunter.WithWiGLE(db))
 	}
-	res.Sweeps = append(res.Sweeps, sweep)
-
-	// 4. Reply budget: the ≤40-responses constraint itself. Larger
-	// batches try more SSIDs per scan — up to the client's physical
-	// window of ~40; beyond that the extra responses fall outside the
-	// listening window, so the sweep stops at 40.
-	sweep = SensitivitySweep{Knob: "reply budget", Direction: "increasing"}
-	for _, budget := range []int{10, 24, 40} {
+	for pi, budget := range []int{10, 24, 40} {
 		ccfg := core.DefaultConfig(core.ModeFull)
 		ccfg.ReplyBudget = budget
 		// Keep the FB share and ghost picks feasible for small budgets.
@@ -155,13 +142,22 @@ func Sensitivity(w *cityhunter.World, o Options) (*SensitivityResult, error) {
 				ccfg.InitialFreshness = ccfg.MinBuffer
 			}
 		}
-		p, err := run(fmt.Sprintf("%d SSIDs/scan", budget), 30,
-			cityhunter.WithCoreConfig(ccfg))
-		if err != nil {
-			return nil, err
-		}
-		sweep.Points = append(sweep.Points, p)
+		label := fmt.Sprintf("%d SSIDs/scan", budget)
+		res.Sweeps[3].Points = append(res.Sweeps[3].Points, SensitivityPoint{Label: label})
+		point(3, pi, label, 30, cityhunter.WithCoreConfig(ccfg))
 	}
-	res.Sweeps = append(res.Sweeps, sweep)
+
+	out, err := o.campaign(ctx, w, specs)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: %w", err)
+	}
+	for i, r := range out.Results {
+		p := &res.Sweeps[refs[i].sweep].Points[refs[i].point]
+		p.Tally.Total += r.Tally.Total
+		p.Tally.Direct += r.Tally.Direct
+		p.Tally.Broadcast += r.Tally.Broadcast
+		p.Tally.ConnectedDirect += r.Tally.ConnectedDirect
+		p.Tally.ConnectedBroadcast += r.Tally.ConnectedBroadcast
+	}
 	return res, nil
 }

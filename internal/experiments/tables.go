@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -46,10 +47,10 @@ func (r *Table1Result) String() string {
 
 // Table1 runs the Table I experiment: the two baselines deployed in the
 // canteen over the lunch period.
-func Table1(w *cityhunter.World, o Options) (*Table1Result, error) {
+func Table1(ctx context.Context, w *cityhunter.World, o Options) (*Table1Result, error) {
 	res := &Table1Result{Duration: o.tableDuration()}
 	for i, kind := range []cityhunter.AttackKind{cityhunter.KARMA, cityhunter.MANA} {
-		r, err := w.Run(cityhunter.CanteenVenue(), kind, cityhunter.LunchSlot,
+		r, err := w.RunContext(ctx, cityhunter.CanteenVenue(), kind, cityhunter.LunchSlot,
 			o.tableDuration(), o.runOpts(w, int64(i))...)
 		if err != nil {
 			return nil, fmt.Errorf("table1: %w", err)
@@ -78,10 +79,10 @@ func (r *Table2Result) String() string {
 }
 
 // Table2 runs the Table II experiment.
-func Table2(w *cityhunter.World, o Options) (*Table2Result, error) {
+func Table2(ctx context.Context, w *cityhunter.World, o Options) (*Table2Result, error) {
 	res := &Table2Result{Duration: o.tableDuration()}
 	for i, kind := range []cityhunter.AttackKind{cityhunter.MANA, cityhunter.CityHunterPreliminary} {
-		r, err := w.Run(cityhunter.CanteenVenue(), kind, cityhunter.LunchSlot,
+		r, err := w.RunContext(ctx, cityhunter.CanteenVenue(), kind, cityhunter.LunchSlot,
 			o.tableDuration(), o.runOpts(w, 10+int64(i))...)
 		if err != nil {
 			return nil, fmt.Errorf("table2: %w", err)
@@ -108,8 +109,8 @@ func (r *Table3Result) String() string {
 }
 
 // Table3 runs the Table III experiment in the morning-rush passage.
-func Table3(w *cityhunter.World, o Options) (*Table3Result, error) {
-	r, err := w.Run(cityhunter.PassageVenue(), cityhunter.CityHunterPreliminary,
+func Table3(ctx context.Context, w *cityhunter.World, o Options) (*Table3Result, error) {
+	r, err := w.RunContext(ctx, cityhunter.PassageVenue(), cityhunter.CityHunterPreliminary,
 		cityhunter.MorningRushSlot, o.tableDuration(), o.runOpts(w, 20)...)
 	if err != nil {
 		return nil, fmt.Errorf("table3: %w", err)
@@ -137,7 +138,7 @@ func (r *Table4Result) String() string {
 }
 
 // Table4 computes the two rankings.
-func Table4(w *cityhunter.World, _ Options) (*Table4Result, error) {
+func Table4(_ context.Context, w *cityhunter.World, _ Options) (*Table4Result, error) {
 	res := &Table4Result{}
 	for _, sc := range w.WiGLE.TopByAPCount(5) {
 		res.ByCount = append(res.ByCount, sc.SSID)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -34,21 +35,21 @@ func TestWriteFullReport(t *testing.T) {
 	w := testWorld(t)
 	opts := experiments.Options{SlotDuration: 4 * time.Minute, ArrivalScale: 0.5}
 
-	t1, err := experiments.Table1(w, opts)
+	t1, err := experiments.Table1(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t4, err := experiments.Table4(w, opts)
+	t4, err := experiments.Table4(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := experiments.Figure2(w, opts)
+	f2, err := experiments.Figure2(context.Background(), w, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gridOpts := opts
 	gridOpts.SlotDuration = 2 * time.Minute
-	grid, err := experiments.Grid(w, gridOpts)
+	grid, err := experiments.Grid(context.Background(), w, gridOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

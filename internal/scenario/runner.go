@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -198,8 +199,24 @@ var legitAPMAC = ieee80211.MAC{0x0a, 0x1e, 0x61, 0x70, 0x00, 0x01}
 
 // Run executes one deployment: the venue's slot-th hour-long test (the
 // paper runs 8am–8pm, one test per hour slot, database re-initialised each
-// time). duration may be shorter than an hour for quick runs.
+// time). duration may be shorter than an hour for quick runs. It is
+// RunContext with a background context.
 func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
+	return RunContext(context.Background(), cfg, slot, duration)
+}
+
+// RunContext is the primary run entry point: Run, plus cancellation. The
+// context is polled inside the simulation event loop, so a cancel stops a
+// mid-flight run promptly (within a few hundred events).
+//
+// Cancellation semantics: when ctx is cancelled mid-run, RunContext still
+// returns a non-nil *Result holding partial accounting — every outcome,
+// tally, victim, report and observability attachment reflects the virtual
+// time reached when the run stopped (Result.Duration is that partial
+// virtual time, not the requested one) — together with a non-nil error
+// wrapping ctx.Err(). Configuration errors detected before the simulation
+// starts return a nil Result as Run does.
+func RunContext(ctx context.Context, cfg Config, slot int, duration time.Duration) (*Result, error) {
 	if cfg.City == nil || cfg.HeatMap == nil {
 		return nil, fmt.Errorf("scenario: city and heat map are required")
 	}
@@ -396,7 +413,7 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 		i += size
 	}
 
-	engine.Run(duration)
+	_, runErr := engine.RunContext(ctx, duration)
 
 	canaryDetections := 0
 	for _, m := range pop.members {
@@ -408,11 +425,17 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 		// its (absent) probe handling; report the kind instead.
 		attackName = cfg.Attack.String()
 	}
+	simulated := duration
+	if runErr != nil {
+		// Cancelled mid-run: the engine clock rests at the last executed
+		// event, which is how much virtual time the partial result covers.
+		simulated = engine.Now()
+	}
 	res := &Result{
 		Venue:              cfg.Venue.Name,
 		Slot:               slot,
 		SlotLabel:          cfg.Venue.Profile.SlotLabel(slot),
-		Duration:           duration,
+		Duration:           simulated,
 		Attack:             attackName,
 		Outcomes:           pop.outcomes(engine.Now(), chEngine),
 		Report:             atk.Report(),
@@ -433,6 +456,10 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 	}
 	if rt != nil {
 		finishObservability(rt, engine, pop, res)
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("scenario: run cancelled after %v of %v: %w",
+			simulated, duration, runErr)
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -432,5 +434,40 @@ func TestGridParallelismDeterministic(t *testing.T) {
 	}
 	if a.Tally != b.Tally || len(a.Victims) != len(b.Victims) {
 		t.Error("repeat run diverged")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	cfg := baseConfig(t, CanteenVenue(), CityHunter, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, cfg, 4, 10*time.Minute)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil partial result")
+	}
+	if res.Duration >= 10*time.Minute {
+		t.Errorf("partial result claims full duration %v", res.Duration)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := baseConfig(t, CanteenVenue(), CityHunter, 5)
+	a, err := Run(cfg, 4, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg, 4, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tally != b.Tally || a.Duration != b.Duration {
+		t.Errorf("Run tally %+v (%v) != RunContext tally %+v (%v)",
+			a.Tally, a.Duration, b.Tally, b.Duration)
 	}
 }

@@ -9,10 +9,17 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"time"
 
 	"cityhunter/internal/obs"
 )
+
+// ctxPollMask controls how often RunContext polls the context: every
+// (ctxPollMask+1) events. 256 events is well under a millisecond of wall
+// time for every workload in this repository, so cancellation is prompt
+// while the hot loop pays only a mask-and-branch per event.
+const ctxPollMask = 0xff
 
 // Engine is a single-threaded discrete-event scheduler. Events execute in
 // (time, insertion-order) order; an event may schedule further events.
@@ -76,9 +83,20 @@ func (e *Engine) At(t time.Duration, fn func()) {
 // that was later — it cannot be, so the clock is min(last event, until)
 // advanced to until when events remain).
 func (e *Engine) Run(until time.Duration) int {
+	n, _ := e.RunContext(context.Background(), until)
+	return n
+}
+
+// RunContext executes events like Run but also honors ctx: the loop polls
+// the context every few hundred events and stops early, returning ctx's
+// error, once it is cancelled. On cancellation the clock rests at the last
+// executed event (it is NOT advanced to until), so callers see exactly how
+// much virtual time was simulated; pending events stay queued.
+func (e *Engine) RunContext(ctx context.Context, until time.Duration) (int, error) {
 	executed := 0
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
+	err := ctx.Err()
+	for err == nil && len(e.queue) > 0 && !e.halted {
 		next := e.queue[0]
 		if next.at > until {
 			break
@@ -87,12 +105,15 @@ func (e *Engine) Run(until time.Duration) int {
 		e.now = next.at
 		next.fn()
 		executed++
+		if executed&ctxPollMask == 0 {
+			err = ctx.Err()
+		}
 	}
 	e.mEvents.Add(int64(executed))
-	if e.now < until {
+	if err == nil && e.now < until {
 		e.now = until
 	}
-	return executed
+	return executed, err
 }
 
 // Step executes exactly one event if any is pending and reports whether it

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -183,5 +184,73 @@ func TestEngineManyEventsStress(t *testing.T) {
 	}
 	if count != n {
 		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+func TestEngineRunContextPreCancelled(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(time.Second, func() { fired = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := e.RunContext(ctx, 10*time.Second)
+	if n != 0 || err == nil {
+		t.Fatalf("RunContext on cancelled ctx = (%d, %v), want (0, ctx error)", n, err)
+	}
+	if fired {
+		t.Error("event fired despite cancelled context")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (queue untouched)", e.Pending())
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v on cancelled run", e.Now())
+	}
+}
+
+// TestEngineRunContextCancelMidRun cancels from inside event #10 and checks
+// the documented poll granularity: the loop notices at the next 256-event
+// boundary and leaves the clock at the last executed event, not the horizon.
+func TestEngineRunContextCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 1000; i++ {
+		i := i
+		e.Schedule(time.Duration(i+1)*time.Millisecond, func() {
+			if i == 9 {
+				cancel()
+			}
+		})
+	}
+	n, err := e.RunContext(ctx, time.Hour)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if n != 256 {
+		t.Errorf("executed %d events, want exactly 256 (poll boundary)", n)
+	}
+	if want := 256 * time.Millisecond; e.Now() != want {
+		t.Errorf("clock = %v, want %v (last executed event, not the horizon)", e.Now(), want)
+	}
+}
+
+func TestEngineRunContextBackgroundMatchesRun(t *testing.T) {
+	mk := func() *Engine {
+		e := NewEngine()
+		for i := 0; i < 50; i++ {
+			e.Schedule(time.Duration(i)*time.Second, func() {})
+		}
+		return e
+	}
+	a := mk()
+	na := a.Run(time.Hour)
+	b := mk()
+	nb, err := b.RunContext(context.Background(), time.Hour)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if na != nb || a.Now() != b.Now() {
+		t.Errorf("Run=(%d,%v) RunContext=(%d,%v); want identical", na, a.Now(), nb, b.Now())
 	}
 }
