@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+BenchmarkCanteenRun 	       5	  88891781 ns/op	12890168 B/op	  147621 allocs/op
+BenchmarkMarshalProbeResponse-8 	 2000000	        42.26 ns/op	      96 B/op	       1 allocs/op
+BenchmarkEngineScheduleRun 	  100000	       189.5 ns/op	      24 B/op	       1 allocs/op
+PASS
+ok  	cityhunter	1.556s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(res), res)
+	}
+	cr := res["BenchmarkCanteenRun"]
+	if cr.NsPerOp != 88891781 || cr.BytesPerOp != 12890168 || cr.AllocsPerOp != 147621 {
+		t.Errorf("CanteenRun = %+v", cr)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := res["BenchmarkMarshalProbeResponse"]; !ok {
+		t.Errorf("suffixed name not normalised: %v", res)
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	rec := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	var out bytes.Buffer
+
+	// Within limits: 20 % slower ns, 4 % more allocs.
+	cur := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1200, AllocsPerOp: 104},
+		"BenchmarkB": {NsPerOp: 900, AllocsPerOp: 90},
+	}
+	if err := compare(&out, rec, cur, 0.30, 0.05); err != nil {
+		t.Errorf("within-limit comparison failed: %v\n%s", err, out.String())
+	}
+
+	// ns/op regression past the threshold.
+	cur["BenchmarkA"] = Result{NsPerOp: 1400, AllocsPerOp: 100}
+	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+		t.Error("40% ns/op regression passed")
+	}
+
+	// allocs/op regression past the tolerance.
+	cur["BenchmarkA"] = Result{NsPerOp: 1000, AllocsPerOp: 120}
+	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+		t.Error("20% allocs/op regression passed")
+	}
+
+	// A benchmark recorded in the snapshot but missing from the run fails.
+	delete(cur, "BenchmarkA")
+	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+		t.Error("missing benchmark passed")
+	}
+}
+
+func TestSnapshotRoundTripAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(rawBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "BENCH_TEST.json")
+
+	// Snapshot mode from a raw capture, embedding the same capture as the
+	// baseline.
+	var out bytes.Buffer
+	err := run([]string{
+		"-from", raw, "-o", snapPath,
+		"-baseline-from", raw, "-baseline-label", "pre", "-label", "post",
+	}, &out)
+	if err != nil {
+		t.Fatalf("snapshot mode: %v", err)
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != schemaID || snap.Baseline == nil || snap.Baseline.Label != "pre" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Current.Results) != 3 {
+		t.Fatalf("current results = %d, want 3", len(snap.Current.Results))
+	}
+
+	// Check mode against itself (via -from, so no benchmarks actually run)
+	// must pass: identical numbers are within every threshold.
+	out.Reset()
+	err = run([]string{"-check", "-snapshot", snapPath, "-from", raw}, &out)
+	if err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within limits") {
+		t.Errorf("check output missing summary:\n%s", out.String())
+	}
+
+	// Check mode without -snapshot is an error.
+	if err := run([]string{"-check", "-from", raw}, &out); err == nil {
+		t.Error("-check without -snapshot accepted")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"cityhunter"
+	"cityhunter/internal/prof"
 	"cityhunter/internal/trace"
 )
 
@@ -67,10 +68,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		traceOut     = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (open in chrome://tracing)")
 		campaignFile = fs.String("campaign-file", "", "run the campaign declared in this JSON spec file instead of a single deployment")
 		parallel     = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "cityhunter-sim:", perr)
+		}
+	}()
 
 	if *campaignFile != "" {
 		return runCampaign(ctx, out, *campaignFile, *seed, *parallel)

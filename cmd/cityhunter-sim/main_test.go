@@ -144,3 +144,37 @@ func TestRunCampaignFileBadSpec(t *testing.T) {
 		t.Fatalf("err = %v, want unknown-venue complaint", err)
 	}
 }
+
+// TestRunProfileFlags drives the pprof wiring: -cpuprofile and -memprofile
+// must produce non-empty profile files, and an unwritable profile path must
+// surface as an error before the simulation starts.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-minutes", "1", "-seed", "7",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+
+	err = run(context.Background(), []string{
+		"-minutes", "1",
+		"-cpuprofile", filepath.Join(dir, "no-such-dir", "cpu.pprof"),
+	}, &out)
+	if err == nil {
+		t.Error("unwritable -cpuprofile path accepted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"cityhunter"
 	"cityhunter/internal/experiments"
+	"cityhunter/internal/prof"
 	"cityhunter/internal/report"
 )
 
@@ -48,10 +49,22 @@ func run(ctx context.Context, args []string) error {
 		mdPath      = fs.String("markdown", "", "also write a paper-vs-measured markdown report to this file")
 		parallel    = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		progress    = fs.Bool("progress", false, "stream per-run campaign progress to stderr")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole harness to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+		}
+	}()
 
 	want := func(name string) bool {
 		if *only == "" {

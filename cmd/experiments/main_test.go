@@ -1,0 +1,27 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunProfileFlagParsing pins the pprof flag wiring: an unwritable
+// -cpuprofile path must fail fast (before the expensive world generation),
+// and an unknown flag must be rejected by the flag set.
+func TestRunProfileFlagParsing(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-cpuprofile", filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"),
+	})
+	if err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+	if !strings.Contains(err.Error(), "cpu profile") {
+		t.Errorf("error %q does not mention the cpu profile", err)
+	}
+
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

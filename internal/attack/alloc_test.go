@@ -1,0 +1,77 @@
+package attack
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/sim"
+)
+
+// quietProber is a minimal station that swallows everything it receives,
+// so allocation measurements see only the attacker's reply path.
+type quietProber struct {
+	addr ieee80211.MAC
+	got  int
+}
+
+func (s *quietProber) Addr() ieee80211.MAC      { return s.addr }
+func (s *quietProber) Pos() geo.Point           { return geo.Pt(5, 0) }
+func (s *quietProber) Receive(*ieee80211.Frame) { s.got++ }
+
+// TestBroadcastReplyPathAllocBudget pins the steady-state allocation cost
+// of the hottest path in every experiment: a broadcast probe request
+// arriving at the attacker and being answered with a full batch of forged
+// probe responses. With pooled engine events, pooled delivery events, and
+// arena-backed frames, the whole burst must stay within a small per-probe
+// budget (the arena amortises to well under one allocation per reply;
+// before this pass each reply cost its own frame and closure allocations).
+func TestBroadcastReplyPathAllocBudget(t *testing.T) {
+	e := sim.NewEngine()
+	m := sim.NewMedium(e, 50)
+	mana := NewMana()
+	for i := 0; i < 100; i++ {
+		mana.HarvestDirect(0, ieee80211.MAC{0x02, 9, 0, 0, 0, byte(i)}, fmt.Sprintf("Net-%03d", i))
+	}
+	a, err := New(e, m, mana, Config{MAC: attackerMAC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	prober := &quietProber{addr: ieee80211.MAC{0x02, 1, 1, 1, 1, 1}}
+	if err := m.Attach(prober); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := &ieee80211.Frame{
+		Subtype: ieee80211.SubtypeProbeRequest,
+		SA:      prober.addr,
+		DA:      ieee80211.BroadcastMAC,
+		BSSID:   ieee80211.BroadcastMAC,
+	}
+	drain := func() {
+		m.Transmit(probe)
+		e.Run(e.Now() + time.Minute)
+	}
+	drain() // warm pools, arena, and the attacker's client table
+
+	batch := a.Report().BroadcastClients
+	if batch != 1 {
+		t.Fatalf("BroadcastClients = %d, want 1", batch)
+	}
+	before := prober.got
+	avg := testing.AllocsPerRun(50, drain)
+	perReply := float64(prober.got-before) / 51 // AllocsPerRun runs once extra to warm up
+	if perReply < 30 {
+		t.Fatalf("replies per probe = %.1f, expected a full batch", perReply)
+	}
+	// Budget: strictly less than 3 allocations per probe burst (~40
+	// replies). The arena contributes ~40/64, everything else is pooled.
+	if avg >= 3 {
+		t.Errorf("broadcast reply burst allocates %.2f/op, want < 3", avg)
+	}
+}

@@ -125,6 +125,7 @@ type Attacker struct {
 	strategy Strategy
 
 	seq     uint16
+	arena   ieee80211.FrameArena
 	clients map[ieee80211.MAC]*clientInfo
 	// victims in capture order.
 	victims []Victim
@@ -402,7 +403,7 @@ func (a *Attacker) frame(f ieee80211.Frame) *ieee80211.Frame {
 	f.BSSID = a.cfg.MAC
 	a.seq = (a.seq + 1) & 0x0fff
 	f.Seq = a.seq
-	return &f
+	return a.arena.New(f)
 }
 
 // Victims returns the captured clients in capture order.

@@ -122,6 +122,7 @@ type Client struct {
 	state State
 	pos   geo.Point
 	seq   uint16
+	arena ieee80211.FrameArena
 
 	// curChannel is the tuned channel (0 = agnostic, e.g. while
 	// associated to a channel-agnostic test responder).
@@ -203,8 +204,13 @@ func (c *Client) Addr() ieee80211.MAC { return c.cfg.MAC }
 // Pos implements sim.Station.
 func (c *Client) Pos() geo.Point { return c.pos }
 
-// SetPos moves the phone; mobility models call this.
-func (c *Client) SetPos(p geo.Point) { c.pos = p }
+// SetPos moves the phone; mobility models call this. The medium's spatial
+// delivery index is notified so broadcasts keep finding the phone (a no-op
+// while the phone is not attached).
+func (c *Client) SetPos(p geo.Point) {
+	c.pos = p
+	c.medium.Moved(c.Addr())
+}
 
 // CurrentChannel implements sim.ChannelTuner.
 func (c *Client) CurrentChannel() uint8 { return c.curChannel }
@@ -400,7 +406,7 @@ func (c *Client) frame(f ieee80211.Frame) *ieee80211.Frame {
 	f.SA = c.cfg.MAC
 	c.seq = (c.seq + 1) & 0x0fff
 	f.Seq = c.seq
-	return &f
+	return c.arena.New(f)
 }
 
 // Receive implements sim.Station.

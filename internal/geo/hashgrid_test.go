@@ -1,0 +1,120 @@
+package geo
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestHashGridValidation(t *testing.T) {
+	if _, err := NewHashGrid(0); err == nil {
+		t.Error("NewHashGrid(0) accepted")
+	}
+	if _, err := NewHashGrid(-5); err == nil {
+		t.Error("NewHashGrid(-5) accepted")
+	}
+}
+
+func TestHashGridKeyNegativeCoordinates(t *testing.T) {
+	g, err := NewHashGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells must partition the plane: the cells just left of and just
+	// right of the origin are distinct (truncation toward zero would fold
+	// them together).
+	if g.Key(Pt(-1, 0)) == g.Key(Pt(1, 0)) {
+		t.Error("cells across x=0 folded together")
+	}
+	if got, want := g.Key(Pt(-1, -1)), (CellKey{X: -1, Y: -1}); got != want {
+		t.Errorf("Key(-1,-1) = %+v, want %+v", got, want)
+	}
+	if got, want := g.Key(Pt(-10, 0)), (CellKey{X: -1, Y: 0}); got != want {
+		t.Errorf("Key(-10,0) = %+v, want %+v (boundary belongs to the right cell)", got, want)
+	}
+}
+
+func TestHashGridInsertRemoveMove(t *testing.T) {
+	g, err := NewHashGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := g.Insert(1, Pt(5, 5))
+	k2 := g.Insert(2, Pt(5, 6)) // same cell
+	if k1 != k2 {
+		t.Fatalf("expected same cell, got %+v vs %+v", k1, k2)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+
+	// Move within the cell is a no-op; across cells re-buckets.
+	if k := g.Move(1, k1, Pt(6, 6)); k != k1 {
+		t.Errorf("intra-cell move changed key to %+v", k)
+	}
+	k3 := g.Move(1, k1, Pt(25, 5))
+	if k3 == k1 {
+		t.Error("cross-cell move kept old key")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len after move = %d, want 2", g.Len())
+	}
+
+	g.Remove(2, k2)
+	g.Remove(2, k2) // double remove is a no-op
+	g.Remove(1, k3)
+	if g.Len() != 0 {
+		t.Fatalf("Len after removes = %d, want 0", g.Len())
+	}
+}
+
+func TestHashGridNeighborhoodSuperset(t *testing.T) {
+	g, err := NewHashGrid(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring of points at varying distances from the origin.
+	pts := []Point{Pt(0, 0), Pt(30, 0), Pt(49, 49), Pt(120, 0), Pt(-60, -60), Pt(500, 500)}
+	for i, p := range pts {
+		g.Insert(int32(i), p)
+	}
+	got := g.AppendNeighborhood(nil, Pt(0, 0), 50)
+	slices.Sort(got)
+	// Everything within 50 m must be present (0, 1, 2); the far point
+	// (500,500) must not be. Points in adjacent cells may appear — the
+	// result is a superset and callers re-check exact distance.
+	for _, want := range []int32{0, 1, 2} {
+		if !slices.Contains(got, want) {
+			t.Errorf("in-range id %d missing from neighborhood %v", want, got)
+		}
+	}
+	if slices.Contains(got, 5) {
+		t.Errorf("far id 5 present in neighborhood %v", got)
+	}
+
+	if res := g.AppendNeighborhood(nil, Pt(0, 0), -1); len(res) != 0 {
+		t.Errorf("negative radius returned %v", res)
+	}
+}
+
+func TestHashGridNeighborhoodDeterministicAndZeroAlloc(t *testing.T) {
+	g, err := NewHashGrid(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		g.Insert(int32(i), Pt(float64(i%20)*7, float64(i/20)*7))
+	}
+	a := g.AppendNeighborhood(nil, Pt(50, 30), 25)
+	b := g.AppendNeighborhood(nil, Pt(50, 30), 25)
+	if !slices.Equal(a, b) {
+		t.Fatalf("neighborhood order not deterministic: %v vs %v", a, b)
+	}
+
+	buf := make([]int32, 0, 256)
+	avg := testing.AllocsPerRun(100, func() {
+		buf = g.AppendNeighborhood(buf[:0], Pt(50, 30), 25)
+	})
+	if avg != 0 {
+		t.Errorf("AppendNeighborhood with capacity allocates %.2f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,100 @@
+package ieee80211
+
+import "testing"
+
+// allocFrames is one frame per marshallable subtype, so the allocation
+// contracts hold across every encode shape, not just probe responses.
+func allocFrames() []Frame {
+	sa := MAC{0x02, 1, 2, 3, 4, 5}
+	da := MAC{0x02, 9, 8, 7, 6, 5}
+	return []Frame{
+		{Subtype: SubtypeProbeRequest, SA: sa, DA: BroadcastMAC, BSSID: BroadcastMAC, SSID: "Net"},
+		{Subtype: SubtypeProbeResponse, SA: sa, DA: da, BSSID: sa, SSID: "CoffeeShop Guest", Capability: CapESS, Channel: 6, BeaconIntervalTU: 100},
+		{Subtype: SubtypeBeacon, SA: sa, DA: BroadcastMAC, BSSID: sa, SSID: "Net", Capability: CapESS, Channel: 1},
+		{Subtype: SubtypeAuth, SA: sa, DA: da, BSSID: sa, AuthAlgorithm: AuthOpenSystem, AuthSeq: 1},
+		{Subtype: SubtypeAssocRequest, SA: sa, DA: da, BSSID: da, SSID: "Net", Capability: CapESS},
+		{Subtype: SubtypeAssocResponse, SA: sa, DA: da, BSSID: sa, Status: StatusSuccess, AssociationID: 1},
+		{Subtype: SubtypeDeauth, SA: sa, DA: da, BSSID: sa, Reason: ReasonUnspecified},
+	}
+}
+
+// TestAppendMarshalZeroAlloc is the zero-alloc contract for the steady-state
+// encode path: appending into a buffer with capacity performs no allocation,
+// for every subtype.
+func TestAppendMarshalZeroAlloc(t *testing.T) {
+	for _, f := range allocFrames() {
+		f := f
+		buf := make([]byte, 0, 256)
+		avg := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = f.AppendMarshal(buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%v: AppendMarshal allocates %.2f/op, want 0", f.Subtype, avg)
+		}
+	}
+}
+
+// TestMarshalSingleAlloc pins Marshal to exactly one allocation: the
+// result buffer, sized by WireLen with no growth during encoding.
+func TestMarshalSingleAlloc(t *testing.T) {
+	for _, f := range allocFrames() {
+		f := f
+		avg := testing.AllocsPerRun(200, func() {
+			if _, err := f.Marshal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 1 {
+			t.Errorf("%v: Marshal allocates %.2f/op, want exactly 1", f.Subtype, avg)
+		}
+	}
+}
+
+// TestAppendMarshalMatchesMarshal pins the two encoders to identical wire
+// form, including when appending after existing bytes.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	for _, f := range allocFrames() {
+		f := f
+		want, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("%v: Marshal: %v", f.Subtype, err)
+		}
+		if len(want) != f.WireLen() {
+			t.Errorf("%v: len(Marshal) = %d, WireLen = %d", f.Subtype, len(want), f.WireLen())
+		}
+		prefix := []byte{0xde, 0xad}
+		got, err := f.AppendMarshal(prefix)
+		if err != nil {
+			t.Fatalf("%v: AppendMarshal: %v", f.Subtype, err)
+		}
+		if string(got[:2]) != string(prefix) {
+			t.Errorf("%v: AppendMarshal clobbered prefix", f.Subtype)
+		}
+		if string(got[2:]) != string(want) {
+			t.Errorf("%v: AppendMarshal wire form differs from Marshal", f.Subtype)
+		}
+	}
+}
+
+// TestAppendMarshalErrorLeavesDst pins the error contract: a failed encode
+// returns dst unchanged in length.
+func TestAppendMarshalErrorLeavesDst(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	bad := Frame{Subtype: FrameSubtype(0xf)} // unsupported subtype
+	got, err := bad.AppendMarshal(dst)
+	if err == nil {
+		t.Fatal("unsupported subtype accepted")
+	}
+	if len(got) != len(dst) {
+		t.Errorf("error path extended dst to %d bytes", len(got))
+	}
+
+	long := Frame{Subtype: SubtypeProbeRequest, SSID: string(make([]byte, 33))}
+	if got, err := long.AppendMarshal(dst); err == nil || len(got) != len(dst) {
+		t.Errorf("oversized SSID: err=%v len=%d", err, len(got))
+	}
+}

@@ -1,0 +1,35 @@
+package ieee80211
+
+// frameArenaChunk is how many frames a FrameArena allocates at once. Large
+// enough to amortise allocation across a burst of probe responses, small
+// enough that a mostly-idle station wastes little memory.
+const frameArenaChunk = 64
+
+// FrameArena batch-allocates Frames for stations that emit them at high
+// rate. Receivers on the simulated medium may hold a delivered *Frame
+// indefinitely (clients buffer the responses of a whole scan window), so
+// frames can never be recycled — but they can be carved out of per-station
+// chunks, turning one heap allocation per frame into one per
+// frameArenaChunk frames.
+//
+// Each New returns a pointer no one else has ever seen; the arena never
+// reuses storage, it only batches it. A chunk stays reachable until every
+// frame carved from it is dropped, so arenas suit stations whose frames
+// have similar lifetimes (an attacker's replies within a run).
+//
+// The zero value is ready to use. FrameArena is not safe for concurrent
+// use; in the simulation each station owns one.
+type FrameArena struct {
+	chunk []Frame
+}
+
+// New copies f into arena-backed storage and returns its address.
+func (a *FrameArena) New(f Frame) *Frame {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Frame, frameArenaChunk)
+	}
+	p := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	*p = f
+	return p
+}

@@ -26,6 +26,13 @@ func appendElement(b []byte, id byte, payload []byte) []byte {
 	return append(b, payload...)
 }
 
+// appendElementString is appendElement for string payloads (SSIDs); it
+// avoids the string-to-bytes conversion so encoding stays allocation-free.
+func appendElementString(b []byte, id byte, payload string) []byte {
+	b = append(b, id, byte(len(payload)))
+	return append(b, payload...)
+}
+
 // elementReader iterates over the information elements in a frame body tail.
 type elementReader struct {
 	buf []byte

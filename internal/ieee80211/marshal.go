@@ -23,61 +23,79 @@ var (
 	ErrInvalidSeqNumber = errors.New("ieee80211: sequence number exceeds 12 bits")
 )
 
-// Marshal encodes f into its 802.11 wire form (without FCS).
+// Marshal encodes f into its 802.11 wire form (without FCS). It allocates
+// exactly one buffer of WireLen bytes; hot paths that encode repeatedly
+// should hold a scratch buffer and use AppendMarshal instead.
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.AppendMarshal(make([]byte, 0, f.WireLen()))
+}
+
+// AppendMarshal appends f's 802.11 wire form (without FCS) to dst and
+// returns the extended slice. When dst has capacity for WireLen more bytes
+// the encode performs no allocation, which is what lets capture and replay
+// paths reuse one scratch buffer per writer. On error dst is returned
+// unchanged.
+func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
 	if !ValidSSID(f.SSID) {
-		return nil, fmt.Errorf("%w: %d octets", ErrSSIDTooLong, len(f.SSID))
+		return dst, fmt.Errorf("%w: %d octets", ErrSSIDTooLong, len(f.SSID))
 	}
 	if f.Seq > 0x0fff {
-		return nil, fmt.Errorf("%w: %d", ErrInvalidSeqNumber, f.Seq)
+		return dst, fmt.Errorf("%w: %d", ErrInvalidSeqNumber, f.Seq)
 	}
-	b := make([]byte, macHeaderLen, macHeaderLen+64)
+	var hdr [macHeaderLen]byte
 	// Frame control: version 0, type 00 (management), subtype in bits 4-7
 	// of the first octet.
-	b[0] = byte(f.Subtype) << 4
-	// b[1] flags all zero; b[2:4] duration left zero (virtual medium).
-	copy(b[4:10], f.DA[:])
-	copy(b[10:16], f.SA[:])
-	copy(b[16:22], f.BSSID[:])
-	binary.LittleEndian.PutUint16(b[22:24], f.Seq<<4)
+	hdr[0] = byte(f.Subtype) << 4
+	// hdr[1] flags all zero; hdr[2:4] duration left zero (virtual medium).
+	copy(hdr[4:10], f.DA[:])
+	copy(hdr[10:16], f.SA[:])
+	copy(hdr[16:22], f.BSSID[:])
+	binary.LittleEndian.PutUint16(hdr[22:24], f.Seq<<4)
 
+	b := dst
 	switch f.Subtype {
 	case SubtypeProbeRequest:
-		b = appendElement(b, elemSSID, []byte(f.SSID))
+		b = append(b, hdr[:]...)
+		b = appendElementString(b, elemSSID, f.SSID)
 		b = appendElement(b, elemSupportedRates, defaultRates)
 	case SubtypeProbeResponse, SubtypeBeacon:
+		b = append(b, hdr[:]...)
 		var fixed [12]byte // timestamp (8) stays zero in the simulation
 		binary.LittleEndian.PutUint16(fixed[8:10], f.BeaconIntervalTU)
 		binary.LittleEndian.PutUint16(fixed[10:12], uint16(f.Capability))
 		b = append(b, fixed[:]...)
-		b = appendElement(b, elemSSID, []byte(f.SSID))
+		b = appendElementString(b, elemSSID, f.SSID)
 		b = appendElement(b, elemSupportedRates, defaultRates)
-		b = appendElement(b, elemDSParameterSet, []byte{f.Channel})
+		b = append(b, elemDSParameterSet, 1, f.Channel)
 	case SubtypeAuth:
+		b = append(b, hdr[:]...)
 		var fixed [6]byte
 		binary.LittleEndian.PutUint16(fixed[0:2], uint16(f.AuthAlgorithm))
 		binary.LittleEndian.PutUint16(fixed[2:4], f.AuthSeq)
 		binary.LittleEndian.PutUint16(fixed[4:6], uint16(f.Status))
 		b = append(b, fixed[:]...)
 	case SubtypeAssocRequest:
+		b = append(b, hdr[:]...)
 		var fixed [4]byte
 		binary.LittleEndian.PutUint16(fixed[0:2], uint16(f.Capability))
 		binary.LittleEndian.PutUint16(fixed[2:4], 10) // listen interval
 		b = append(b, fixed[:]...)
-		b = appendElement(b, elemSSID, []byte(f.SSID))
+		b = appendElementString(b, elemSSID, f.SSID)
 		b = appendElement(b, elemSupportedRates, defaultRates)
 	case SubtypeAssocResponse:
+		b = append(b, hdr[:]...)
 		var fixed [6]byte
 		binary.LittleEndian.PutUint16(fixed[0:2], uint16(f.Capability))
 		binary.LittleEndian.PutUint16(fixed[2:4], uint16(f.Status))
 		binary.LittleEndian.PutUint16(fixed[4:6], f.AssociationID)
 		b = append(b, fixed[:]...)
 	case SubtypeDeauth:
+		b = append(b, hdr[:]...)
 		var fixed [2]byte
 		binary.LittleEndian.PutUint16(fixed[0:2], uint16(f.Reason))
 		b = append(b, fixed[:]...)
 	default:
-		return nil, fmt.Errorf("%w: %v", ErrUnknownSubtype, f.Subtype)
+		return dst, fmt.Errorf("%w: %v", ErrUnknownSubtype, f.Subtype)
 	}
 	return b, nil
 }

@@ -242,9 +242,10 @@ func NewModel(db *wigle.DB, hm *heatmap.Map, cfg Config) (*Model, error) {
 	}
 	m.effectiveUserFraction = cfg.PublicUserFraction * scale
 
+	openBySSID := db.CountBySSID(true)
 	for ssid, count := range db.CountBySSID(false) {
 		if count == 1 {
-			if open := db.CountBySSID(true)[ssid]; open == 0 {
+			if openBySSID[ssid] == 0 {
 				m.privateUniverse = append(m.privateUniverse, ssid)
 			}
 		}

@@ -1,0 +1,50 @@
+// Package prof wires the standard pprof profilers into command-line tools:
+// one call at startup, one deferred stop, and the familiar -cpuprofile /
+// -memprofile flag semantics of the Go toolchain.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (either may be
+// empty) and returns a stop function that finishes them; it is safe to call
+// the stop function exactly once, typically deferred. The CPU profile
+// streams for the whole run; the heap profile is snapshotted at stop time
+// after a GC, which is what makes steady-state allocations visible.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise the retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

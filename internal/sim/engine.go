@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"time"
 
@@ -23,16 +22,30 @@ const ctxPollMask = 0xff
 
 // Engine is a single-threaded discrete-event scheduler. Events execute in
 // (time, insertion-order) order; an event may schedule further events.
+//
+// Events live in a value slice with a free list of recycled slots, and the
+// priority queue is a hand-rolled min-heap of slot indices: scheduling in
+// steady state allocates nothing beyond the caller's callback, and the
+// compact index heap keeps sift operations in cache.
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	queue  eventQueue
+	events []event // slot storage; recycled through free
+	free   []int32 // free slot indices
+	heap   []int32 // min-heap of slot indices ordered by (at, seq)
 	halted bool
 
 	// Observability handles; nil when uninstrumented (the methods on nil
 	// handles are no-ops, so the hot path pays one branch).
 	mEvents   *obs.Counter
 	mQueueHWM *obs.Gauge
+}
+
+// event is one scheduled callback slot.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
 }
 
 // Instrument attaches the engine to an observability runtime: it counts
@@ -71,17 +84,84 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		id = int32(len(e.events))
+		e.events = append(e.events, event{})
+	}
+	e.events[id] = event{at: t, seq: e.seq, fn: fn}
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
 	if e.mQueueHWM != nil {
-		e.mQueueHWM.SetMax(float64(len(e.queue)))
+		e.mQueueHWM.SetMax(float64(len(e.heap)))
 	}
 }
 
-// Run executes events until the queue is empty or the clock would pass
-// until. It returns the number of events executed. After Run the clock
-// rests at until (or at the last event time if the queue drained first and
-// that was later — it cannot be, so the clock is min(last event, until)
-// advanced to until when events remain).
+// less orders two event slots by (time, sequence number).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			m = r
+		}
+		if !e.less(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pop removes the earliest event, recycles its slot, and returns its time
+// and callback. The caller must ensure the heap is non-empty.
+func (e *Engine) pop() (time.Duration, func()) {
+	id := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev := &e.events[id]
+	at, fn := ev.at, ev.fn
+	ev.fn = nil // release the closure while the slot sits on the free list
+	e.free = append(e.free, id)
+	return at, fn
+}
+
+// Run executes events in order until the queue is empty or the next event
+// lies past until, then returns the number of events executed. Afterwards
+// the clock rests at until (events cannot move the clock beyond until,
+// because any later event stays queued for the next Run).
 func (e *Engine) Run(until time.Duration) int {
 	n, _ := e.RunContext(context.Background(), until)
 	return n
@@ -96,14 +176,13 @@ func (e *Engine) RunContext(ctx context.Context, until time.Duration) (int, erro
 	executed := 0
 	e.halted = false
 	err := ctx.Err()
-	for err == nil && len(e.queue) > 0 && !e.halted {
-		next := e.queue[0]
-		if next.at > until {
+	for err == nil && len(e.heap) > 0 && !e.halted {
+		if e.events[e.heap[0]].at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		next.fn()
+		at, fn := e.pop()
+		e.now = at
+		fn()
 		executed++
 		if executed&ctxPollMask == 0 {
 			err = ctx.Err()
@@ -117,14 +196,16 @@ func (e *Engine) RunContext(ctx context.Context, until time.Duration) (int, erro
 }
 
 // Step executes exactly one event if any is pending and reports whether it
-// did.
+// did. Like RunContext, it clears a stale Halt first, so a Halt issued
+// while the engine was idle does not swallow the next stepped event.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	e.halted = false
+	if len(e.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*event)
-	e.now = next.at
-	next.fn()
+	at, fn := e.pop()
+	e.now = at
+	fn()
 	e.mEvents.Inc()
 	return true
 }
@@ -134,36 +215,4 @@ func (e *Engine) Step() bool {
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
-
-// event is one scheduled callback.
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-// eventQueue is a min-heap ordered by (time, sequence number).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"cityhunter/internal/geo"
@@ -28,7 +29,9 @@ type Station interface {
 	// medium and stable for the station's lifetime.
 	Addr() ieee80211.MAC
 	// Pos returns the station's current position. The medium calls it at
-	// frame-delivery time, so moving stations are handled naturally.
+	// frame-delivery time. A station whose position changes while attached
+	// must report each change through Medium.Moved — the medium's spatial
+	// delivery index relies on it to keep broadcast fan-out exact.
 	Pos() geo.Point
 	// Receive delivers a frame that arrived at the station's antenna.
 	Receive(f *ieee80211.Frame)
@@ -42,15 +45,38 @@ type Station interface {
 // attacker to ~40 probe responses per 10 ms scan window.
 //
 // Broadcast delivery iterates stations in attach order, so runs are
-// deterministic for a given seed.
+// deterministic for a given seed. A spatial hash grid over station
+// positions narrows each broadcast to the cells that can contain receivers,
+// so fan-out cost scales with local density instead of the total population.
 type Medium struct {
 	engine *Engine
 	rng    rangeModel
 
+	// maxRange is the largest distance at which any receiver can hear a
+	// transmitter (the disk radius, or the soft edge's outer radius). It
+	// sizes the spatial grid cells and the broadcast candidate query.
+	maxRange float64
+
 	// order holds attached stations in attach order; index maps a MAC to
-	// its slot in order. Detached slots are nil and recycled lazily.
+	// its slot in order. Detached slots are nil and recycled lazily, so an
+	// ascending slot scan is an attach-order scan.
 	order []Station
 	index map[ieee80211.MAC]int
+
+	// grid buckets attached stations by position for broadcast delivery;
+	// cellKeys caches each slot's current cell. grid is nil when the
+	// medium has no positive range (everything falls back to a full scan).
+	grid     *geo.HashGrid
+	cellKeys []geo.CellKey
+	// scratch is the reusable broadcast candidate buffer. Delivery never
+	// nests (events run one at a time and Receive callbacks only schedule
+	// future work), so a single buffer is safe.
+	scratch []int32
+	// compactGen counts station-table compactions. Broadcast loops snapshot
+	// it: while it is unchanged, a nil slot check is an exact liveness test
+	// for the snapshot they iterate, and the per-receiver map lookup the
+	// old implementation paid is skipped entirely.
+	compactGen uint64
 
 	// promisc holds monitor-mode stations: they hear every in-range
 	// frame regardless of its destination, and are never addressable.
@@ -58,6 +84,11 @@ type Medium struct {
 	promiscIndex map[ieee80211.MAC]int
 
 	busyUntil map[ieee80211.MAC]time.Duration
+
+	// deliverPool recycles the frame-delivery events TransmitFrom and the
+	// retry paths schedule, so steady-state transmission allocates no
+	// per-frame closures.
+	deliverPool []*deliverEvent
 
 	// loss is the independent per-delivery drop probability; lossRNG
 	// draws for it and for soft-edge reception. needRNG marks models
@@ -186,6 +217,7 @@ func NewMedium(engine *Engine, radius float64, opts ...MediumOption) *Medium {
 	m := &Medium{
 		engine:       engine,
 		rng:          diskRange{radius: radius},
+		maxRange:     radius,
 		index:        make(map[ieee80211.MAC]int),
 		promiscIndex: make(map[ieee80211.MAC]int),
 		busyUntil:    make(map[ieee80211.MAC]time.Duration),
@@ -195,6 +227,12 @@ func NewMedium(engine *Engine, radius float64, opts ...MediumOption) *Medium {
 	}
 	if (m.loss > 0 || m.needRNG) && m.lossRNG == nil {
 		m.lossRNG = rand.New(rand.NewSource(1))
+	}
+	if radius > 0 {
+		// One cell per range disk: a 3×3 neighborhood always covers the
+		// transmitter's reach, and typical venues keep the crowd within a
+		// handful of cells.
+		m.grid, _ = geo.NewHashGrid(radius)
 	}
 	return m
 }
@@ -223,8 +261,12 @@ func (m *Medium) Attach(s Station) error {
 	if err := m.checkNew(s.Addr()); err != nil {
 		return err
 	}
-	m.index[s.Addr()] = len(m.order)
+	i := len(m.order)
+	m.index[s.Addr()] = i
 	m.order = append(m.order, s)
+	if m.grid != nil {
+		m.cellKeys = append(m.cellKeys, m.grid.Insert(int32(i), s.Pos()))
+	}
 	return nil
 }
 
@@ -265,19 +307,42 @@ func (m *Medium) Detach(addr ieee80211.MAC) {
 	if !ok {
 		return
 	}
+	if m.grid != nil {
+		m.grid.Remove(int32(i), m.cellKeys[i])
+	}
 	m.order[i] = nil
 	delete(m.index, addr)
 	delete(m.busyUntil, addr)
 	m.maybeCompact()
 }
 
+// Moved re-buckets a station in the spatial delivery index after its
+// position changed. Every station whose position changes while attached
+// must call it (or be moved through it); a stale bucket can hide the
+// station from broadcasts it should hear. Unknown addresses are a no-op,
+// so movers may report unconditionally — before Attach, after Detach, or
+// for promiscuous stations (which are not spatially indexed).
+func (m *Medium) Moved(addr ieee80211.MAC) {
+	if m.grid == nil {
+		return
+	}
+	i, ok := m.index[addr]
+	if !ok {
+		return
+	}
+	m.cellKeys[i] = m.grid.Move(int32(i), m.cellKeys[i], m.order[i].Pos())
+}
+
 // maybeCompact rebuilds the order slice once more than half its slots are
-// tombstones, preserving attach order.
+// tombstones, preserving attach order. The spatial index is rebuilt with
+// the new slot numbering, and the compaction generation bump tells any
+// broadcast loop in progress to stop trusting its pre-compaction snapshot.
 func (m *Medium) maybeCompact() {
 	if len(m.order) < 64 || len(m.index)*2 > len(m.order) {
 		return
 	}
 	m.mCompactions.Inc()
+	m.compactGen++
 	compact := make([]Station, 0, len(m.index))
 	for _, s := range m.order {
 		if s != nil {
@@ -285,8 +350,15 @@ func (m *Medium) maybeCompact() {
 		}
 	}
 	m.order = compact
+	if m.grid != nil {
+		m.grid, _ = geo.NewHashGrid(m.maxRange)
+		m.cellKeys = m.cellKeys[:0]
+	}
 	for i, s := range m.order {
 		m.index[s.Addr()] = i
+		if m.grid != nil {
+			m.cellKeys = append(m.cellKeys, m.grid.Insert(int32(i), s.Pos()))
+		}
 	}
 }
 
@@ -331,8 +403,45 @@ func (m *Medium) TransmitFrom(tx ieee80211.MAC, f *ieee80211.Frame) time.Duratio
 	m.FramesSent++
 	m.mSent[f.Subtype&0xf].Inc()
 
-	m.engine.At(done, func() { m.deliver(tx, txCh, f, unicastRetryLimit) })
+	m.scheduleDeliver(done, tx, txCh, f, unicastRetryLimit)
 	return done
+}
+
+// deliverEvent is a pooled frame-delivery callback. One sits on the engine
+// queue per in-flight transmission or retry; executing it returns the event
+// to the medium's pool before the delivery runs, so the delivery itself may
+// immediately recycle it for a retry. The bound run closure is allocated
+// once per pool entry and reused for every schedule.
+type deliverEvent struct {
+	m           *Medium
+	tx          ieee80211.MAC
+	txCh        uint8
+	f           *ieee80211.Frame
+	retriesLeft int
+	run         func()
+}
+
+// scheduleDeliver queues a delivery of f at absolute time at, reusing a
+// pooled event when one is free.
+func (m *Medium) scheduleDeliver(at time.Duration, tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retriesLeft int) {
+	var de *deliverEvent
+	if n := len(m.deliverPool); n > 0 {
+		de = m.deliverPool[n-1]
+		m.deliverPool[n-1] = nil
+		m.deliverPool = m.deliverPool[:n-1]
+	} else {
+		de = &deliverEvent{m: m}
+		de.run = de.exec
+	}
+	de.tx, de.txCh, de.f, de.retriesLeft = tx, txCh, f, retriesLeft
+	m.engine.At(at, de.run)
+}
+
+func (de *deliverEvent) exec() {
+	m, tx, txCh, f, retries := de.m, de.tx, de.txCh, de.f, de.retriesLeft
+	de.f = nil // drop the frame reference while pooled
+	m.deliverPool = append(m.deliverPool, de)
+	m.deliver(tx, txCh, f, retries)
 }
 
 // channelOf returns a station's current channel, or 0 (agnostic) when the
@@ -393,21 +502,7 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 	}
 
 	if f.DA.IsBroadcast() {
-		for _, rx := range m.order {
-			if rx == nil || rx.Addr() == tx {
-				continue
-			}
-			// Re-check liveness: a Receive callback earlier in this loop
-			// may have detached a later station.
-			if _, live := m.index[rx.Addr()]; !live {
-				continue
-			}
-			if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos(), f.Subtype) {
-				m.FramesDelivered++
-				m.mDelivered[f.Subtype&0xf].Inc()
-				rx.Receive(f)
-			}
-		}
+		m.deliverBroadcast(tx, txPos, txCh, f)
 		return
 	}
 	ri, ok := m.index[f.DA]
@@ -422,7 +517,7 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 		if retriesLeft > 0 {
 			m.FramesRetried++
 			m.mRetried.Inc()
-			m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
+			m.scheduleDeliver(m.engine.Now()+f.Airtime(), tx, txCh, f, retriesLeft-1)
 		}
 		return
 	}
@@ -441,6 +536,56 @@ func (m *Medium) deliver(tx ieee80211.MAC, txCh uint8, f *ieee80211.Frame, retri
 	if retriesLeft > 0 && m.rng.prob(txPos, rxPos) > 0 {
 		m.FramesRetried++
 		m.mRetried.Inc()
-		m.engine.Schedule(f.Airtime(), func() { m.deliver(tx, txCh, f, retriesLeft-1) })
+		m.scheduleDeliver(m.engine.Now()+f.Airtime(), tx, txCh, f, retriesLeft-1)
+	}
+}
+
+// deliverBroadcast fans f out to every in-range station in attach order.
+// With the spatial index armed, only stations bucketed in cells the
+// transmitter can reach are visited; slot ids sort ascending, which IS
+// attach order, so the delivery sequence (and thus every RNG draw) is
+// identical to a full scan.
+func (m *Medium) deliverBroadcast(tx ieee80211.MAC, txPos geo.Point, txCh uint8, f *ieee80211.Frame) {
+	order := m.order
+	if m.grid == nil {
+		for _, rx := range order {
+			if rx == nil || rx.Addr() == tx {
+				continue
+			}
+			if _, live := m.index[rx.Addr()]; !live {
+				continue
+			}
+			if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos(), f.Subtype) {
+				m.FramesDelivered++
+				m.mDelivered[f.Subtype&0xf].Inc()
+				rx.Receive(f)
+			}
+		}
+		return
+	}
+
+	cands := m.grid.AppendNeighborhood(m.scratch[:0], txPos, m.maxRange)
+	slices.Sort(cands)
+	m.scratch = cands
+	gen := m.compactGen
+	for _, i := range cands {
+		rx := order[i]
+		if rx == nil || rx.Addr() == tx {
+			continue
+		}
+		if m.compactGen != gen {
+			// A Receive callback compacted the station table: the slots of
+			// our pre-compaction snapshot are no longer nilled on detach,
+			// so fall back to the authoritative liveness map for the rest
+			// of this fan-out.
+			if _, live := m.index[rx.Addr()]; !live {
+				continue
+			}
+		}
+		if sameChannel(txCh, rx) && m.receives(txPos, rx.Pos(), f.Subtype) {
+			m.FramesDelivered++
+			m.mDelivered[f.Subtype&0xf].Inc()
+			rx.Receive(f)
+		}
 	}
 }

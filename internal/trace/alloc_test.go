@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// TestPcapWriterSteadyStateZeroAlloc pins the capture encode path: after
+// the first record grows the scratch buffer, writing frames allocates
+// nothing per packet.
+func TestPcapWriterSteadyStateZeroAlloc(t *testing.T) {
+	pw, err := NewPcapWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &ieee80211.Frame{
+		Subtype:          ieee80211.SubtypeProbeResponse,
+		SA:               ieee80211.MAC{0x02, 1, 2, 3, 4, 5},
+		DA:               ieee80211.MAC{0x02, 9, 8, 7, 6, 5},
+		BSSID:            ieee80211.MAC{0x02, 1, 2, 3, 4, 5},
+		SSID:             "CoffeeShop Guest",
+		Capability:       ieee80211.CapESS,
+		Channel:          6,
+		BeaconIntervalTU: 100,
+	}
+	if err := pw.WriteFrame(0, f); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := pw.WriteFrame(time.Millisecond, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("WriteFrame steady state allocates %.2f/op, want 0", avg)
+	}
+	if pw.Count() < 201 {
+		t.Errorf("Count = %d", pw.Count())
+	}
+}

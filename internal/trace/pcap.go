@@ -26,6 +26,12 @@ const (
 type PcapWriter struct {
 	w     io.Writer
 	count int
+	// buf is the reusable frame-encode scratch and rec the record-header
+	// scratch (a local array would escape through the io.Writer call):
+	// after the first record the steady-state encode path allocates
+	// nothing.
+	buf []byte
+	rec [16]byte
 }
 
 // NewPcapWriter writes the global header and returns a writer.
@@ -46,16 +52,17 @@ func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
 // WriteFrame marshals f and appends one packet record stamped with the
 // virtual capture time.
 func (p *PcapWriter) WriteFrame(at time.Duration, f *ieee80211.Frame) error {
-	wire, err := f.Marshal()
+	wire, err := f.AppendMarshal(p.buf[:0])
 	if err != nil {
 		return fmt.Errorf("trace: marshal frame: %w", err)
 	}
-	var rec [16]byte
+	p.buf = wire[:0]
+	rec := p.rec[:]
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(at/time.Second))
 	binary.LittleEndian.PutUint32(rec[4:8], uint32(at%time.Second/time.Microsecond))
 	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(wire)))
 	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(wire)))
-	if _, err := p.w.Write(rec[:]); err != nil {
+	if _, err := p.w.Write(rec); err != nil {
 		return fmt.Errorf("trace: pcap record header: %w", err)
 	}
 	if _, err := p.w.Write(wire); err != nil {
@@ -76,12 +83,12 @@ func (m *Monitor) WritePcap(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var f ieee80211.Frame // reused across entries; WriteFrame does not retain it
 	for i := range m.entries {
-		f, err := m.entries[i].toFrame()
-		if err != nil {
+		if err := m.entries[i].toFrameInto(&f); err != nil {
 			return fmt.Errorf("trace: entry %d: %w", i, err)
 		}
-		if err := pw.WriteFrame(m.entries[i].At, f); err != nil {
+		if err := pw.WriteFrame(m.entries[i].At, &f); err != nil {
 			return err
 		}
 	}
@@ -90,29 +97,40 @@ func (m *Monitor) WritePcap(w io.Writer) error {
 
 // toFrame reconstructs a transmittable frame from a recorded entry.
 func (e *Entry) toFrame() (*ieee80211.Frame, error) {
+	f := new(ieee80211.Frame)
+	if err := e.toFrameInto(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// toFrameInto is toFrame into caller-owned storage, so replay loops can
+// decode every entry through one reused frame.
+func (e *Entry) toFrameInto(f *ieee80211.Frame) error {
 	sub, err := subtypeByName(e.Subtype)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sa, err := ieee80211.ParseMAC(e.SA)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	da, err := ieee80211.ParseMAC(e.DA)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bssid, err := ieee80211.ParseMAC(e.BSSID)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &ieee80211.Frame{
+	*f = ieee80211.Frame{
 		Subtype: sub,
 		SA:      sa,
 		DA:      da,
 		BSSID:   bssid,
 		SSID:    e.SSID,
-	}, nil
+	}
+	return nil
 }
 
 func subtypeByName(name string) (ieee80211.FrameSubtype, error) {
