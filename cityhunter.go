@@ -36,6 +36,7 @@ import (
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
 	"cityhunter/internal/heatmap"
+	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/scenario"
@@ -60,6 +61,14 @@ type (
 	AttackKind = scenario.AttackKind
 	Result     = scenario.Result
 	CoreConfig = core.Config
+
+	// Multi-site deployments: N attacker sites in one city, phones
+	// roaming between them, and a knowledge plane joining the hunters'
+	// databases (see World.DeploySites).
+	DeploymentConfig = scenario.DeploymentConfig
+	DeploymentResult = scenario.DeploymentResult
+	KnowledgePlane   = scenario.KnowledgePlane
+	TransitModel     = mobility.TransitModel
 	// RunConfig is the raw per-run configuration RunOptions assemble. It
 	// is exposed for RunSpec.Configure hooks; most callers never touch it
 	// directly.
@@ -112,6 +121,22 @@ const (
 	KnownBeacons = scenario.KnownBeacons
 )
 
+// Knowledge planes for multi-site deployments.
+const (
+	// Isolated gives every site its own database — N independent copies
+	// of the paper's single-venue deployment.
+	Isolated = scenario.Isolated
+	// PeriodicSync exchanges hit records between per-site databases
+	// every sync period.
+	PeriodicSync = scenario.PeriodicSync
+	// Shared runs one database (and one per-client rotation state)
+	// behind all sites.
+	Shared = scenario.Shared
+)
+
+// MaxDeploymentSites bounds a deployment's site count.
+const MaxDeploymentSites = scenario.MaxSites
+
 // Common hour slots of the 8am–8pm profiles.
 const (
 	// MorningRushSlot is 8am–9am.
@@ -140,6 +165,19 @@ var (
 	SaveVenue = scenario.SaveVenue
 	// LoadVenue reads and validates a venue written by SaveVenue.
 	LoadVenue = scenario.LoadVenue
+)
+
+// Deployment persistence, re-exported: deployment plans (sites, knowledge
+// plane, roaming model — not the Base experiment config) round-trip
+// through a declarative JSON format mirroring the venue files (see
+// cmd/cityhunter-sim's -deployment flag).
+var (
+	// SaveDeployment writes a deployment plan as JSON.
+	SaveDeployment = scenario.SaveDeployment
+	// LoadDeployment reads and validates a plan written by SaveDeployment.
+	LoadDeployment = scenario.LoadDeployment
+	// DefaultTransit returns the urban walking-speed transit model.
+	DefaultTransit = mobility.DefaultTransit
 )
 
 // Campaign persistence, re-exported: run specs round-trip through a
@@ -495,4 +533,86 @@ func (w *World) RunCampaign(ctx context.Context, specs []RunSpec, pool CampaignP
 		Pool:  pool,
 	}
 	return c.Run(ctx)
+}
+
+// deployOptions collects the functional options of DeploySites.
+type deployOptions struct {
+	dcfg scenario.DeploymentConfig
+}
+
+// DeployOption customises a multi-site deployment.
+type DeployOption interface{ applyDeploy(*deployOptions) }
+
+type deployOptionFunc func(*deployOptions)
+
+func (f deployOptionFunc) applyDeploy(o *deployOptions) { f(o) }
+
+// WithKnowledgePlane selects how the sites share the City-Hunter database
+// (default Isolated — N independent copies of the paper's deployment).
+func WithKnowledgePlane(plane KnowledgePlane) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.dcfg.Knowledge = plane })
+}
+
+// WithSyncPeriod sets the PeriodicSync exchange period (default 1 minute).
+func WithSyncPeriod(d time.Duration) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.dcfg.SyncEvery = d })
+}
+
+// WithRoaming makes phones finishing a dwell walk to another site with the
+// given probability instead of leaving the city (default 0).
+func WithRoaming(fraction float64) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.dcfg.RoamFraction = fraction })
+}
+
+// WithTransit overrides the inter-site walking model roaming phones use.
+func WithTransit(m TransitModel) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.dcfg.Transit = m })
+}
+
+// WithRunOptions applies single-run options to the deployment's base
+// configuration — seeds, population fractions, deauth, observability.
+func WithRunOptions(opts ...RunOption) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { ApplyOptions(&o.dcfg.Base, opts...) })
+}
+
+// DeploySites runs one attacker of the chosen kind at each site for the
+// slot's test — the city-scale generalisation of Run. All sites share one
+// radio medium and one virtual clock; phones may roam between them (see
+// WithRoaming) and the attackers may share knowledge (see
+// WithKnowledgePlane). It is DeploySitesContext with a background context.
+func (w *World) DeploySites(sites []Venue, kind AttackKind, slot int, duration time.Duration, opts ...DeployOption) (*DeploymentResult, error) {
+	return w.DeploySitesContext(context.Background(), sites, kind, slot, duration, opts...)
+}
+
+// DeploySitesContext is DeploySites plus cancellation, with RunContext's
+// semantics: a mid-run cancel returns the partial DeploymentResult
+// together with a non-nil error wrapping ctx.Err().
+func (w *World) DeploySitesContext(ctx context.Context, sites []Venue, kind AttackKind, slot int, duration time.Duration, opts ...DeployOption) (*DeploymentResult, error) {
+	o := deployOptions{dcfg: scenario.DeploymentConfig{Sites: sites}}
+	o.dcfg.Base = w.baseRunConfig()
+	o.dcfg.Base.Attack = kind
+	for _, opt := range opts {
+		opt.applyDeploy(&o)
+	}
+	res, err := scenario.RunDeploymentContext(ctx, o.dcfg, slot, duration)
+	if err != nil {
+		return res, fmt.Errorf("cityhunter: %w", err)
+	}
+	return res, nil
+}
+
+// RunDeployment executes a deployment plan — typically one loaded with
+// LoadDeployment — against this world: the plan's Base is replaced by the
+// world's base configuration carrying the given attack kind and run
+// options, then the deployment runs with DeploySitesContext's semantics.
+func (w *World) RunDeployment(ctx context.Context, dcfg DeploymentConfig, kind AttackKind, slot int, duration time.Duration, opts ...RunOption) (*DeploymentResult, error) {
+	base := w.baseRunConfig()
+	base.Attack = kind
+	ApplyOptions(&base, opts...)
+	dcfg.Base = base
+	res, err := scenario.RunDeploymentContext(ctx, dcfg, slot, duration)
+	if err != nil {
+		return res, fmt.Errorf("cityhunter: %w", err)
+	}
+	return res, nil
 }

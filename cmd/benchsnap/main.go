@@ -14,7 +14,11 @@
 // Check mode re-runs the tiers and compares against a committed snapshot's
 // current section, failing (exit 1) on regression:
 //
-//	benchsnap -check -snapshot BENCH_4.json [-threshold 0.30] [-alloc-tol 0.05]
+//	benchsnap -check [-snapshot BENCH_4.json] [-threshold 0.30] [-alloc-tol 0.05]
+//
+// When -snapshot is omitted in check mode, the latest committed snapshot is
+// auto-discovered: the BENCH_N.json file in the current directory with the
+// highest numeric N.
 //
 // ns/op may regress by at most -threshold (fractional; default 30 %,
 // generous because shared CI machines are noisy). allocs/op is held much
@@ -32,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -91,7 +96,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		outPath       = fs.String("o", "BENCH.json", "snapshot file to write (snapshot mode)")
 		check         = fs.Bool("check", false, "re-run the tiers and compare against -snapshot instead of writing")
-		snapshotPath  = fs.String("snapshot", "", "committed snapshot to check against (check mode)")
+		snapshotPath  = fs.String("snapshot", "", "committed snapshot to check against (check mode); empty auto-discovers the highest BENCH_N.json")
 		threshold     = fs.Float64("threshold", 0.30, "maximum fractional ns/op regression tolerated in check mode")
 		allocTol      = fs.Float64("alloc-tol", 0.05, "maximum fractional allocs/op regression tolerated in check mode")
 		baselineFrom  = fs.String("baseline-from", "", "raw `go test -bench -benchmem` output to embed as the baseline section")
@@ -119,7 +124,11 @@ func run(args []string, out io.Writer) error {
 
 	if *check {
 		if *snapshotPath == "" {
-			return fmt.Errorf("-check requires -snapshot")
+			*snapshotPath, err = discoverSnapshot(".")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checking against %s (auto-discovered)\n", *snapshotPath)
 		}
 		snap, err := loadSnapshot(*snapshotPath)
 		if err != nil {
@@ -231,6 +240,32 @@ func parseFile(path string) (map[string]Result, error) {
 		return nil, fmt.Errorf("parse %s: no benchmark lines found", path)
 	}
 	return res, nil
+}
+
+// discoverSnapshot returns the BENCH_N.json file in dir with the highest
+// numeric N — the latest committed snapshot under the repo's naming
+// convention (one snapshot per perf PR).
+func discoverSnapshot(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		base := filepath.Base(m)
+		numeric := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+		n, err := strconv.Atoi(numeric)
+		if err != nil || n < 0 {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_N.json snapshot found in %s (pass -snapshot explicitly)", dir)
+	}
+	return best, nil
 }
 
 func loadSnapshot(path string) (*Snapshot, error) {

@@ -115,8 +115,70 @@ func TestSnapshotRoundTripAndCheck(t *testing.T) {
 		t.Errorf("check output missing summary:\n%s", out.String())
 	}
 
-	// Check mode without -snapshot is an error.
+	// Check mode without -snapshot auto-discovers BENCH_N.json in the
+	// working directory; with none present it is an error.
+	chdir(t, dir)
 	if err := run([]string{"-check", "-from", raw}, &out); err == nil {
-		t.Error("-check without -snapshot accepted")
+		t.Error("-check with no discoverable snapshot accepted")
+	}
+}
+
+// chdir switches the working directory for the test, restoring it on cleanup.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func TestDiscoverSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_3.json", "BENCH_10.json", "BENCH_abc.json", "BENCH.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := discoverSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("discovered %s, want BENCH_10.json (highest numeric N)", got)
+	}
+
+	if _, err := discoverSnapshot(t.TempDir()); err == nil {
+		t.Error("empty directory yielded a snapshot")
+	}
+}
+
+// TestCheckAutoDiscovery runs check mode end-to-end with no -snapshot flag:
+// the latest BENCH_N.json in the working directory is picked up.
+func TestCheckAutoDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(rawBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// Two snapshots; BENCH_2.json is the latest and the only valid one, so
+	// discovery picking BENCH_1.json would fail the schema check.
+	if err := run([]string{"-from", raw, "-o", filepath.Join(dir, "BENCH_2.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte(`{"schema":"bogus"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, dir)
+	out.Reset()
+	if err := run([]string{"-check", "-from", raw}, &out); err != nil {
+		t.Fatalf("auto-discovered check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_2.json (auto-discovered)") {
+		t.Errorf("output missing discovery notice:\n%s", out.String())
 	}
 }

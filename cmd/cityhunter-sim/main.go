@@ -21,6 +21,13 @@
 // over the campaign worker pool instead of the single run the flags above
 // describe; -parallel bounds the pool. Ctrl-C cancels mid-campaign and the
 // completed runs are still reported.
+//
+// Deployment mode: -deployment F loads a JSON multi-site deployment plan
+// (see cityhunter.SaveDeployment/LoadDeployment: sites, knowledge plane,
+// roaming model) and runs one attacker per site on a single shared radio
+// medium, printing per-site rows and the pooled tally. -attack, -slot,
+// -minutes, -seed and the population flags apply; the single-run output
+// flags (-pcap, -trace-out, -breakdown) do not.
 package main
 
 import (
@@ -67,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		metrics      = fs.Bool("metrics", false, "print the metrics dump and flight-recorder tail after the run")
 		traceOut     = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (open in chrome://tracing)")
 		campaignFile = fs.String("campaign-file", "", "run the campaign declared in this JSON spec file instead of a single deployment")
+		deployFile   = fs.String("deployment", "", "run the multi-site deployment plan in this JSON file instead of a single venue")
 		parallel     = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -87,6 +95,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	if *campaignFile != "" {
 		return runCampaign(ctx, out, *campaignFile, *seed, *parallel)
+	}
+
+	if *deployFile != "" {
+		kind, err := attackByName(*attackName)
+		if err != nil {
+			return err
+		}
+		var opts []cityhunter.RunOption
+		if *loss > 0 {
+			opts = append(opts, cityhunter.WithFrameLoss(*loss))
+		}
+		if *canary > 0 {
+			opts = append(opts, cityhunter.WithCanaryClients(*canary))
+		}
+		if *randomizeMAC > 0 {
+			opts = append(opts, cityhunter.WithRandomizedMACs(*randomizeMAC))
+		}
+		if *deauth {
+			opts = append(opts, cityhunter.WithDeauth(*preconnected))
+		} else if *preconnected > 0 {
+			opts = append(opts, cityhunter.WithPreconnected(*preconnected))
+		}
+		return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed, opts...)
 	}
 
 	var venue cityhunter.Venue
@@ -279,6 +310,39 @@ func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, pa
 	}
 	fmt.Fprintln(out, res.Aggregate.String())
 	return runErr
+}
+
+// runDeployment loads a multi-site deployment plan and runs it end to end on
+// one shared medium, printing the per-site rows followed by the pooled tally
+// that the plan's knowledge plane produced.
+func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhunter.AttackKind,
+	slot, minutes int, seed int64, opts ...cityhunter.RunOption) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	dcfg, err := cityhunter.LoadDeployment(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	world, err := cityhunter.NewWorld(cityhunter.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	res, err := world.RunDeployment(ctx, dcfg, kind, slot, time.Duration(minutes)*time.Minute, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "deployment %s: %d sites, %s knowledge plane, %d roams\n",
+		path, len(res.Sites), res.Knowledge, res.Roams)
+	for _, r := range res.Sites {
+		fmt.Fprintf(out, "%-24s %s, %s: %v\n", r.Venue, r.Attack, r.SlotLabel, r.Tally)
+	}
+	fmt.Fprintf(out, "pooled: %v\n", res.Tally)
+	return nil
 }
 
 func venueByName(name string) (cityhunter.Venue, error) {

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cityhunter"
 )
 
 // TestRunMetricsAndTrace drives the acceptance path: one invocation with
@@ -127,6 +129,59 @@ func TestRunCampaignFile(t *testing.T) {
 	if parallel := invoke("2"); parallel != serial {
 		t.Errorf("-parallel 2 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+}
+
+// TestRunDeploymentFile drives the -deployment path: a two-site plan prints
+// the header with the knowledge plane, one row per site, and the pooled
+// tally, and the same seed reproduces byte-identical output.
+func TestRunDeploymentFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "city.json")
+	plan := cityhunter.DeploymentConfig{
+		Sites:        []cityhunter.Venue{cityhunter.CanteenVenue(), cityhunter.PassageVenue()},
+		Knowledge:    cityhunter.Shared,
+		RoamFraction: 0.5,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cityhunter.SaveDeployment(f, plan)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("save plan: %v", err)
+	}
+
+	invoke := func() string {
+		var out bytes.Buffer
+		err := run(context.Background(),
+			[]string{"-deployment", path, "-attack", "cityhunter", "-minutes", "2", "-seed", "3"}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	text := invoke()
+	for _, want := range []string{"2 sites", "shared knowledge plane", "canteen", "passage", "pooled:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, text)
+		}
+	}
+	if again := invoke(); again != text {
+		t.Errorf("same-seed deployment runs diverged:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+
+	// A broken plan surfaces the load error before any simulation starts.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"knowledge":"telepathy","sites":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-deployment", bad}, &out); err == nil ||
+		!strings.Contains(err.Error(), "telepathy") {
+		t.Fatalf("err = %v, want unknown-knowledge-plane complaint", err)
 	}
 }
 

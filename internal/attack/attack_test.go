@@ -338,6 +338,46 @@ func TestAttackerStopHaltsDeauthLoop(t *testing.T) {
 	}
 }
 
+// TestStopSilencesAllPeriodicTransmissions is the deployment-teardown
+// contract: after Stop, neither the known-beacons loop nor the deauth sweep
+// puts another frame on air — verified at the medium level, not just via the
+// attacker's own counters.
+func TestStopSilencesAllPeriodicTransmissions(t *testing.T) {
+	fx := newFixture(t)
+	a := fx.newAttacker(t, NewKarma(), Config{
+		Beacons:     []string{"Free Airport WiFi", "CoffeeShop"},
+		BeaconEvery: 50 * time.Millisecond,
+		Deauth:      DeauthConfig{Enabled: true, Interval: time.Second},
+	})
+	// Teach the deauth extension one legitimate AP without attaching a real
+	// station, so every frame the medium counts is the attacker's own.
+	a.Receive(&ieee80211.Frame{
+		Subtype: ieee80211.SubtypeBeacon,
+		SA:      ieee80211.MAC{0x0a, 1, 1, 1, 1, 1},
+		BSSID:   ieee80211.MAC{0x0a, 1, 1, 1, 1, 1},
+	})
+	fx.engine.Run(5 * time.Second)
+	r := a.Report()
+	if r.BeaconsSent == 0 || r.DeauthsSent == 0 {
+		t.Fatalf("both loops must be live before Stop: beacons=%d deauths=%d",
+			r.BeaconsSent, r.DeauthsSent)
+	}
+
+	a.Stop()
+	onAir := fx.medium.FramesSent
+	fx.engine.Run(fx.engine.Now() + 30*time.Second)
+	if got := fx.medium.FramesSent; got != onAir {
+		t.Errorf("%d frame(s) transmitted after Stop", got-onAir)
+	}
+	after := a.Report()
+	if after.BeaconsSent != r.BeaconsSent {
+		t.Errorf("beacon loop survived Stop: %d -> %d", r.BeaconsSent, after.BeaconsSent)
+	}
+	if after.DeauthsSent != r.DeauthsSent {
+		t.Errorf("deauth loop survived Stop: %d -> %d", r.DeauthsSent, after.DeauthsSent)
+	}
+}
+
 func TestStrategyNames(t *testing.T) {
 	if NewKarma().Name() != "KARMA" || NewMana().Name() != "MANA" {
 		t.Error("unexpected strategy names")

@@ -244,8 +244,11 @@ func (a *Attacker) scheduleBeacon(idx int) {
 	})
 }
 
-// Stop halts periodic activity (the deauth loop). The station stays
-// attached so late handshakes still complete.
+// Stop halts all periodic activity — the deauth sweep and the known-beacons
+// loop both check it before transmitting, so no beacon or deauthentication
+// frame goes on air after Stop returns. The station stays attached so late
+// handshakes still complete; deployment teardown relies on exactly this
+// split.
 func (a *Attacker) Stop() { a.stopped = true }
 
 // Receive implements sim.Station.

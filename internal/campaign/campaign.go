@@ -61,6 +61,15 @@ type Spec struct {
 	// declarative fields do not cover (core-engine ablations, WiGLE
 	// resampling, sampling periods). It is not serialised by SaveCampaign.
 	Configure func(*scenario.Config)
+
+	// Deployment, when non-nil, turns this spec into a multi-site
+	// deployment run: its Sites replace Venue (which must stay zero), its
+	// knowledge plane and roaming model apply, and the spec's result lands
+	// in Outcome.Deployments instead of Outcome.Results. The Deployment's
+	// Base is ignored — the campaign assembles it from the campaign base
+	// and this spec's declarative knobs. Like Configure, it is not
+	// serialised by SaveCampaign (persist the plan with SaveDeployment).
+	Deployment *scenario.DeploymentConfig
 }
 
 // Pool configures the campaign worker pool.
@@ -128,13 +137,18 @@ func (a Aggregate) String() string {
 // Result and a nil error; a spec cancelled mid-flight keeps its partial
 // Result alongside the context error.
 type Outcome struct {
-	// Results holds each spec's run result, in spec order.
+	// Results holds each spec's run result, in spec order. Deployment
+	// specs leave their entry nil and fill Deployments instead.
 	Results []*scenario.Result
+	// Deployments holds each deployment spec's result, in spec order;
+	// nil for single-venue specs.
+	Deployments []*scenario.DeploymentResult
 	// Errs holds each spec's error, in spec order.
 	Errs []error
 	// Completed counts error-free runs.
 	Completed int
-	// Aggregate is the deterministic summary over error-free runs.
+	// Aggregate is the deterministic summary over error-free runs
+	// (deployment specs contribute their pooled tally).
 	Aggregate Aggregate
 }
 
@@ -154,12 +168,27 @@ func (c *Campaign) Validate() error {
 		if s.Duration <= 0 {
 			return fmt.Errorf("campaign: spec %d (%s): duration %v must be positive", i, name, s.Duration)
 		}
-		if s.Venue.Name == "" {
-			return fmt.Errorf("campaign: spec %d (%s): venue is required", i, name)
-		}
-		if s.Slot < 0 || s.Slot >= s.Venue.Profile.Slots() {
-			return fmt.Errorf("campaign: spec %d (%s): slot %d outside venue profile (0..%d)",
-				i, name, s.Slot, s.Venue.Profile.Slots()-1)
+		if s.Deployment != nil {
+			if s.Venue.Name != "" {
+				return fmt.Errorf("campaign: spec %d (%s): venue and deployment are mutually exclusive", i, name)
+			}
+			if len(s.Deployment.Sites) == 0 {
+				return fmt.Errorf("campaign: spec %d (%s): deployment needs at least one site", i, name)
+			}
+			for _, v := range s.Deployment.Sites {
+				if s.Slot < 0 || s.Slot >= v.Profile.Slots() {
+					return fmt.Errorf("campaign: spec %d (%s): slot %d outside site %q profile (0..%d)",
+						i, name, s.Slot, v.Name, v.Profile.Slots()-1)
+				}
+			}
+		} else {
+			if s.Venue.Name == "" {
+				return fmt.Errorf("campaign: spec %d (%s): venue is required", i, name)
+			}
+			if s.Slot < 0 || s.Slot >= s.Venue.Profile.Slots() {
+				return fmt.Errorf("campaign: spec %d (%s): slot %d outside venue profile (0..%d)",
+					i, name, s.Slot, s.Venue.Profile.Slots()-1)
+			}
 		}
 		if s.Attack.String() == "unknown attack" {
 			return fmt.Errorf("campaign: spec %d (%s): unknown attack kind %d", i, name, int(s.Attack))
@@ -244,8 +273,9 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 	defer cancel()
 
 	out := &Outcome{
-		Results: make([]*scenario.Result, n),
-		Errs:    make([]error, n),
+		Results:     make([]*scenario.Result, n),
+		Deployments: make([]*scenario.DeploymentResult, n),
+		Errs:        make([]error, n),
 	}
 	var (
 		mu     sync.Mutex
@@ -269,10 +299,22 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 				mu.Unlock()
 
 				cfg := c.config(i)
-				res, err := scenario.RunContext(runCtx, cfg, c.Specs[i].Slot, c.Specs[i].Duration)
+				var (
+					res *scenario.Result
+					dep *scenario.DeploymentResult
+					err error
+				)
+				if d := c.Specs[i].Deployment; d != nil {
+					dcfg := *d
+					dcfg.Base = cfg
+					dep, err = scenario.RunDeploymentContext(runCtx, dcfg, c.Specs[i].Slot, c.Specs[i].Duration)
+				} else {
+					res, err = scenario.RunContext(runCtx, cfg, c.Specs[i].Slot, c.Specs[i].Duration)
+				}
 
 				mu.Lock()
 				out.Results[i] = res
+				out.Deployments[i] = dep
 				out.Errs[i] = err
 				done++
 				if err != nil && runCtx.Err() == nil {
@@ -328,11 +370,18 @@ func (o *Outcome) aggregate() {
 		bcastN     int
 	)
 	for i, res := range o.Results {
-		if res == nil || o.Errs[i] != nil {
+		var t stats.Tally
+		switch {
+		case o.Errs[i] != nil:
+			continue
+		case res != nil:
+			t = res.Tally
+		case i < len(o.Deployments) && o.Deployments[i] != nil:
+			t = o.Deployments[i].Tally
+		default:
 			continue
 		}
 		o.Completed++
-		t := res.Tally
 		o.Aggregate.TotalClients += t.Total
 		o.Aggregate.TotalVictims += t.ConnectedDirect + t.ConnectedBroadcast
 		hitRates = append(hitRates, t.HitRate())

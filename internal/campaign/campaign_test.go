@@ -179,6 +179,96 @@ func TestCampaignValidationNamesSpec(t *testing.T) {
 	}
 }
 
+// TestCampaignDeploymentSpecs mixes a single-venue spec with a multi-site
+// deployment spec: the deployment result lands in Outcome.Deployments, the
+// aggregate pools both, and serial and parallel pools agree.
+func TestCampaignDeploymentSpecs(t *testing.T) {
+	w := testWorld(t)
+	scale := 0.4
+	specs := []cityhunter.RunSpec{
+		quickSpecs(1)[0],
+		{
+			Name:         "two-site lunch",
+			Attack:       cityhunter.CityHunter,
+			Slot:         cityhunter.LunchSlot,
+			Duration:     2 * time.Minute,
+			ArrivalScale: &scale,
+			Deployment: &cityhunter.DeploymentConfig{
+				Sites:        []cityhunter.Venue{cityhunter.CanteenVenue(), cityhunter.PassageVenue()},
+				Knowledge:    cityhunter.Shared,
+				RoamFraction: 0.5,
+			},
+		},
+	}
+	run := func(workers int) *cityhunter.CampaignResult {
+		out, err := w.RunCampaign(context.Background(), specs,
+			cityhunter.CampaignPool{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	out := run(1)
+	if out.Completed != 2 {
+		t.Fatalf("completed %d/2", out.Completed)
+	}
+	if out.Results[0] == nil || out.Deployments[0] != nil {
+		t.Error("single-venue spec did not land in Results")
+	}
+	if out.Results[1] != nil || out.Deployments[1] == nil {
+		t.Fatal("deployment spec did not land in Deployments")
+	}
+	dep := out.Deployments[1]
+	if len(dep.Sites) != 2 || dep.Tally.Total == 0 {
+		t.Fatalf("degenerate deployment result: %d sites, tally %+v", len(dep.Sites), dep.Tally)
+	}
+	if want := out.Results[0].Tally.Total + dep.Tally.Total; out.Aggregate.TotalClients != want {
+		t.Errorf("aggregate pooled %d clients, want %d", out.Aggregate.TotalClients, want)
+	}
+	parallel := run(2)
+	if !reflect.DeepEqual(dep.Tally, parallel.Deployments[1].Tally) {
+		t.Errorf("deployment tally differs across pools: %+v vs %+v",
+			dep.Tally, parallel.Deployments[1].Tally)
+	}
+}
+
+// TestCampaignDeploymentValidation: deployment specs are validated up front
+// with the spec named, before anything runs.
+func TestCampaignDeploymentValidation(t *testing.T) {
+	w := testWorld(t)
+	base := cityhunter.RunSpec{
+		Name:     "bad",
+		Attack:   cityhunter.CityHunter,
+		Slot:     cityhunter.LunchSlot,
+		Duration: time.Minute,
+	}
+	cases := []struct {
+		name string
+		mut  func(*cityhunter.RunSpec)
+		want string
+	}{
+		{"venue and deployment", func(s *cityhunter.RunSpec) {
+			s.Venue = cityhunter.CanteenVenue()
+			s.Deployment = &cityhunter.DeploymentConfig{Sites: []cityhunter.Venue{cityhunter.PassageVenue()}}
+		}, "mutually exclusive"},
+		{"no sites", func(s *cityhunter.RunSpec) {
+			s.Deployment = &cityhunter.DeploymentConfig{}
+		}, "at least one site"},
+		{"bad slot", func(s *cityhunter.RunSpec) {
+			s.Slot = 99
+			s.Deployment = &cityhunter.DeploymentConfig{Sites: []cityhunter.Venue{cityhunter.PassageVenue()}}
+		}, "slot 99"},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mut(&spec)
+		_, err := w.RunCampaign(context.Background(), []cityhunter.RunSpec{spec}, cityhunter.CampaignPool{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "bad") {
+			t.Errorf("%s: err = %v, want substring %q naming the spec", tc.name, err, tc.want)
+		}
+	}
+}
+
 // BenchmarkCampaignGrid is the CI bench smoke for the campaign runner: a
 // reduced Figure-5-style venue × slot fan-out through the default pool.
 func BenchmarkCampaignGrid(b *testing.B) {

@@ -78,6 +78,9 @@ func Save(w io.Writer, specs []Spec) error {
 		if s.Configure != nil {
 			return fmt.Errorf("campaign: spec %d (%s): Configure hooks are not serialisable", i, s.Name)
 		}
+		if s.Deployment != nil {
+			return fmt.Errorf("campaign: spec %d (%s): deployment specs are not serialisable (persist the plan with SaveDeployment)", i, s.Name)
+		}
 		var venueBuf bytes.Buffer
 		if err := scenario.SaveVenue(&venueBuf, s.Venue); err != nil {
 			return fmt.Errorf("campaign: spec %d (%s): %w", i, s.Name, err)

@@ -96,6 +96,23 @@ func TestSaveRejectsConfigureHook(t *testing.T) {
 	}
 }
 
+// TestSaveRejectsDeploymentSpec: deployment specs carry live venue slices
+// and a knowledge plane that SaveDeployment owns; SaveCampaign refuses them
+// by name and points at the right persistence path.
+func TestSaveRejectsDeploymentSpec(t *testing.T) {
+	specs := roundTripSpecs()
+	specs[0].Deployment = &scenario.DeploymentConfig{Sites: []scenario.Venue{scenario.CanteenVenue()}}
+	err := Save(&bytes.Buffer{}, specs)
+	if err == nil {
+		t.Fatal("deployment spec serialised")
+	}
+	for _, want := range []string{"spec 0", "SaveDeployment"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
 // TestLoadBuiltinVenueNames: hand-written files may reference venues by
 // name instead of embedding a venueSpec.
 func TestLoadBuiltinVenueNames(t *testing.T) {

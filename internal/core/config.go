@@ -149,6 +149,19 @@ type SeedData struct {
 	// Position is where the attacker will be deployed; the nearby
 	// selection is relative to it.
 	Position geo.Point
+	// Positions, when non-empty, overrides Position with several
+	// deployment sites: the engine serves a multi-site deployment behind a
+	// shared knowledge plane, so the nearby selection runs once per site.
+	Positions []geo.Point
+}
+
+// positions returns the seeding positions: Positions when set, else the
+// single Position.
+func (s *SeedData) positions() []geo.Point {
+	if len(s.Positions) > 0 {
+		return s.Positions
+	}
+	return []geo.Point{s.Position}
 }
 
 // NewEngine builds a City-Hunter engine and runs database initialisation
@@ -178,10 +191,12 @@ func NewEngine(cfg Config, seed *SeedData) (*Engine, error) {
 		for i := 0; i < n; i++ {
 			e.db.add(ranked[i].SSID, SourceWiGLE, weights[i])
 		}
-		nearby := seed.DB.NearestSSIDs(seed.Position, cfg.NearbyCount)
-		nearWeights := heatmap.RankWeights(len(nearby))
-		for i, ssid := range nearby {
-			e.db.add(ssid, SourceNearby, nearWeights[i])
+		for _, pos := range seed.positions() {
+			nearby := seed.DB.NearestSSIDs(pos, cfg.NearbyCount)
+			nearWeights := heatmap.RankWeights(len(nearby))
+			for i, ssid := range nearby {
+				e.db.add(ssid, SourceNearby, nearWeights[i])
+			}
 		}
 	}
 	for _, ssid := range cfg.CarrierSSIDs {

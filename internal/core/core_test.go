@@ -548,3 +548,86 @@ func TestProportionalAdaptationSteps(t *testing.T) {
 		t.Errorf("FB %d below floor", fbAfter)
 	}
 }
+
+func TestMultiPositionSeeding(t *testing.T) {
+	// A shared engine behind two sites seeds the nearby selection once per
+	// site: deploying at both the café cluster and the shop row must cover
+	// both neighbourhoods.
+	sd := seedData(t)
+	sd.Positions = []geo.Point{geo.Pt(0, 0), geo.Pt(-900, 600)}
+	cfg := DefaultConfig(ModeFull)
+	cfg.TopCityWide = 0
+	cfg.NearbyCount = 5
+	e, err := NewEngine(cfg, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cafes, shops := 0, 0
+	for _, en := range e.TopEntries(e.DBSize()) {
+		if strings.HasPrefix(en.SSID, "NearCafe-") {
+			cafes++
+		}
+		if strings.HasPrefix(en.SSID, "Shop-") {
+			shops++
+		}
+	}
+	if cafes == 0 || shops == 0 {
+		t.Errorf("two-site seeding covered cafes=%d shops=%d, want both > 0", cafes, shops)
+	}
+
+	// Positions with a single entry is identical to Position.
+	single := seedData(t)
+	single.Positions = []geo.Point{single.Position}
+	a, err := NewEngine(DefaultConfig(ModeFull), seedData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(DefaultConfig(ModeFull), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DBSize() != b.DBSize() {
+		t.Errorf("single Positions db size %d != Position db size %d", b.DBSize(), a.DBSize())
+	}
+}
+
+func TestAbsorbHitSharesKnowledgeWithoutAttribution(t *testing.T) {
+	e, err := NewEngine(DefaultConfig(ModeFull), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absorbing a remote hit on an unknown SSID inserts it and marks it
+	// fresh, but the local hit log and adaptation state stay untouched.
+	e.AbsorbHit(time.Minute, "CanteenNet")
+	if !e.Knows("CanteenNet") {
+		t.Fatal("absorbed SSID not in database")
+	}
+	if len(e.Hits()) != 0 {
+		t.Errorf("absorb appended to the local hit log: %v", e.Hits())
+	}
+	got := e.BroadcastReply(2*time.Minute, mac(7), 40)
+	if len(got) != 1 || got[0] != "CanteenNet" {
+		t.Errorf("reply after absorb = %v, want the freshly absorbed SSID", got)
+	}
+
+	// Absorbing a known SSID bumps its weight past a never-hit peer.
+	e2 := newFull(t, nil)
+	before := e2.TopEntries(e2.DBSize())
+	target := before[len(before)-1].SSID
+	head := before[0].Weight
+	for i := 0; i < int(head)+10; i++ {
+		e2.AbsorbHit(time.Duration(i)*time.Second, target)
+	}
+	if e2.TopEntries(1)[0].SSID != target {
+		t.Errorf("absorbed hits did not promote %q past the head weight %v", target, head)
+	}
+	if len(e2.Hits()) != 0 {
+		t.Error("absorb on seeded engine touched the hit log")
+	}
+
+	// Empty SSIDs are ignored.
+	e.AbsorbHit(0, "")
+	if e.DBSize() != 1 {
+		t.Errorf("empty absorb changed the database: size %d", e.DBSize())
+	}
+}

@@ -442,6 +442,25 @@ func (e *Engine) pickGhosts(candidates []*entry, kind BufferKind, take func(*ent
 	}
 }
 
+// AbsorbHit merges a capture learnt at ANOTHER deployment site into this
+// engine — the periodic-sync knowledge plane. The SSID enters the database
+// if it is new (a site can relay SSIDs it harvested over the air) and gets
+// the same weight and freshness treatment a local hit would, so a network
+// that captured a phone at the canteen rises into this site's Popularity
+// and Freshness buffers. Unlike RecordHit it does NOT append to the local
+// hit log, touch per-client tracking, or adapt the buffer boundary: the hit
+// happened elsewhere, so local attribution and ghost accounting must not
+// claim it.
+func (e *Engine) AbsorbHit(now time.Duration, ssid string) {
+	if ssid == "" {
+		return
+	}
+	if e.db.add(ssid, SourceDirectProbe, e.cfg.HarvestWeight) && e.om != nil {
+		e.om.dbSize.Set(float64(e.db.len()))
+	}
+	e.db.recordHit(ssid, now, e.cfg.HitWeightDelta)
+}
+
 // RecordHit implements attack.Strategy: weight and freshness updates plus
 // buffer-size adaptation (step 2/3 of Fig. 3). A hit served from PB's ghost
 // list means the Popularity Buffer was too small, so it grows at FB's

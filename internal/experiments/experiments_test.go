@@ -345,6 +345,47 @@ func TestSensitivityShape(t *testing.T) {
 	}
 }
 
+func TestMultiSiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine deployments")
+	}
+	res, err := MultiSite(context.Background(), testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Venues) != 4 {
+		t.Fatalf("venues = %d", len(res.Venues))
+	}
+	if len(res.Planes) != 3 {
+		t.Fatalf("planes = %d", len(res.Planes))
+	}
+	for _, p := range res.Planes {
+		if p.Tally.Total == 0 {
+			t.Errorf("%s: empty city crowd", p.Plane)
+		}
+		if len(p.SiteTallies) != 4 {
+			t.Errorf("%s: %d site tallies", p.Plane, len(p.SiteTallies))
+		}
+		siteTotal := 0
+		for _, st := range p.SiteTallies {
+			siteTotal += st.Total
+		}
+		if siteTotal != p.Tally.Total {
+			t.Errorf("%s: site totals %d != pooled %d", p.Plane, siteTotal, p.Tally.Total)
+		}
+	}
+	// The shared-beats-isolated inequality needs full-length runs for
+	// roams to complete (asserted in scenario.TestSharedKnowledgeBeats-
+	// Isolated); here just require the pair crowds to exist.
+	if res.PairSeeds != 3 || res.PairIsolated.Total == 0 || res.PairShared.Total == 0 {
+		t.Errorf("pair pools degenerate: %d seeds, isolated %+v, shared %+v",
+			res.PairSeeds, res.PairIsolated, res.PairShared)
+	}
+	if !strings.Contains(res.String(), "Multi-site") {
+		t.Error("String lacks title")
+	}
+}
+
 func TestGridParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two grids")

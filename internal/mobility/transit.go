@@ -1,0 +1,52 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cityhunter/internal/geo"
+)
+
+// TransitModel describes inter-venue movement: a phone leaving one venue's
+// dwell walks a straight line through transit space to another venue at a
+// uniformly drawn speed, scanning as it goes. Mid-transit it is typically
+// out of everyone's radio range — the interesting part is what it carries:
+// its PNL, its scan state, and (on the attacker's side) whatever the
+// knowledge plane remembers about it from the previous site.
+type TransitModel struct {
+	// SpeedMin and SpeedMax bound the walking speed in m/s.
+	SpeedMin, SpeedMax float64
+}
+
+// DefaultTransit returns urban walking speeds (brisker than in-venue
+// strolling: people in transit between sites are going somewhere).
+func DefaultTransit() TransitModel {
+	return TransitModel{SpeedMin: 1.1, SpeedMax: 1.7}
+}
+
+// Validate checks the speed bounds.
+func (t TransitModel) Validate() error {
+	if t.SpeedMin <= 0 || t.SpeedMax <= 0 {
+		return fmt.Errorf("mobility: transit speeds must be positive, got [%v, %v]", t.SpeedMin, t.SpeedMax)
+	}
+	if t.SpeedMax < t.SpeedMin {
+		return fmt.Errorf("mobility: transit speed max %v below min %v", t.SpeedMax, t.SpeedMin)
+	}
+	return nil
+}
+
+// Path builds the transit path from one point to another at a drawn speed.
+// A degenerate (zero-length) transit still takes one second so arrival
+// events stay strictly after departure events.
+func (t TransitModel) Path(rng *rand.Rand, from, to geo.Point) Path {
+	speed := t.SpeedMin + rng.Float64()*(t.SpeedMax-t.SpeedMin)
+	if speed <= 0 {
+		speed = 1
+	}
+	d := time.Duration(from.Dist(to) / speed * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return Path{From: from, To: to, Duration: d}
+}

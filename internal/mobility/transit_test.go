@@ -1,0 +1,55 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+)
+
+func TestTransitModelValidate(t *testing.T) {
+	if err := DefaultTransit().Validate(); err != nil {
+		t.Errorf("default transit invalid: %v", err)
+	}
+	bad := []TransitModel{
+		{SpeedMin: 0, SpeedMax: 1},
+		{SpeedMin: 1, SpeedMax: 0},
+		{SpeedMin: -1, SpeedMax: 1},
+		{SpeedMin: 2, SpeedMax: 1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("transit %+v accepted", m)
+		}
+	}
+}
+
+func TestTransitPathSpeedAndEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := DefaultTransit()
+	from, to := geo.Pt(0, 0), geo.Pt(1450, 0)
+	for i := 0; i < 100; i++ {
+		p := m.Path(rng, from, to)
+		if p.From != from || p.To != to {
+			t.Fatalf("path endpoints %v -> %v", p.From, p.To)
+		}
+		speed := from.Dist(to) / p.Duration.Seconds()
+		if speed < m.SpeedMin-0.01 || speed > m.SpeedMax+0.01 {
+			t.Fatalf("implied speed %.2f outside [%v, %v]", speed, m.SpeedMin, m.SpeedMax)
+		}
+		// Interpolation stays on the segment.
+		mid := p.At(p.Duration / 2)
+		if mid.Y != 0 || mid.X <= 0 || mid.X >= 1450 {
+			t.Fatalf("midpoint %v off segment", mid)
+		}
+	}
+}
+
+func TestTransitPathDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultTransit().Path(rng, geo.Pt(5, 5), geo.Pt(5, 5))
+	if p.Duration < time.Second {
+		t.Errorf("zero-length transit duration %v, want >= 1s", p.Duration)
+	}
+}

@@ -1,0 +1,389 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cityhunter/internal/client"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+	"cityhunter/internal/obs"
+	"cityhunter/internal/stats"
+)
+
+// KnowledgePlane selects how a deployment's sites share the City-Hunter
+// database — the paper runs each venue in isolation; a city-scale hunter
+// can do better because phones roam between its sites.
+type KnowledgePlane int
+
+// Knowledge planes.
+const (
+	// Isolated gives every site its own database, seeded independently —
+	// N copies of the paper's single-venue deployment.
+	Isolated KnowledgePlane = iota
+	// PeriodicSync keeps per-site databases but exchanges hit records
+	// every SyncEvery: each site absorbs the SSIDs that captured phones
+	// elsewhere, without per-client state.
+	PeriodicSync
+	// Shared runs one core database (and one per-client rotation state)
+	// behind all sites: a phone that exhausted site A's top replies gets
+	// the NEXT untried batch at site B instead of the same head again.
+	Shared
+)
+
+// String implements fmt.Stringer.
+func (k KnowledgePlane) String() string {
+	switch k {
+	case Isolated:
+		return "isolated"
+	case PeriodicSync:
+		return "periodic-sync"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("knowledge(%d)", int(k))
+	}
+}
+
+// MaxSites bounds a deployment; site MACs embed the index in one byte.
+const MaxSites = 250
+
+// DeploymentConfig describes a city-scale deployment: several attacker
+// sites on one radio medium, phones that roam between them, and a
+// knowledge plane joining (or not joining) the sites' databases.
+type DeploymentConfig struct {
+	// Base carries everything a single-venue Config does except the
+	// venue: city, heat map, attack kind, population knobs, seed.
+	// Base.Venue is ignored; Sites replaces it.
+	Base Config
+	// Sites are the attacker deployments (1..MaxSites venues).
+	Sites []Venue
+	// Knowledge selects how the sites share the City-Hunter database.
+	// KARMA/MANA/Known-Beacons attackers have no shareable database and
+	// degrade to Isolated behaviour under every plane.
+	Knowledge KnowledgePlane
+	// SyncEvery is the PeriodicSync exchange period; 0 means one minute.
+	SyncEvery time.Duration
+	// RoamFraction is the probability that a phone finishing its dwell
+	// walks to another site instead of leaving the city.
+	RoamFraction float64
+	// Transit models the inter-site walk; the zero value selects
+	// mobility.DefaultTransit.
+	Transit mobility.TransitModel
+}
+
+// DeploymentResult is everything a deployment run produces.
+type DeploymentResult struct {
+	// Sites holds one per-site Result, in DeploymentConfig.Sites order.
+	// Site results count a roaming phone under the site it first arrived
+	// at; its SSIDsSent credit spans every engine that served it.
+	Sites []*Result
+	// Outcomes pools every phone across sites.
+	Outcomes []stats.ClientOutcome
+	// Tally aggregates the pooled outcomes (its HitBroadcast is the
+	// pooled h_b the knowledge planes are compared on).
+	Tally stats.Tally
+	// Knowledge echoes the configured plane.
+	Knowledge KnowledgePlane
+	// Roams counts completed inter-site transits.
+	Roams int
+	// Duration is the simulated virtual time (shorter than requested
+	// only when the run was cancelled).
+	Duration time.Duration
+	// Metrics, Journal and Spans are the deployment-wide observability
+	// attachments (one runtime serves every site).
+	Metrics obs.Snapshot
+	Journal *obs.Journal
+	Spans   *obs.Trace
+}
+
+// deploymentRun is the roaming coordinator: it owns the transit decisions
+// made when any site's population finishes a dwell.
+type deploymentRun struct {
+	env          *runEnv
+	sites        []*site
+	pops         []*population
+	transit      mobility.TransitModel
+	roamFraction float64
+	roams        int
+}
+
+// RunDeployment executes a multi-site deployment for one slot. It is
+// RunDeploymentContext with a background context.
+func RunDeployment(dcfg DeploymentConfig, slot int, duration time.Duration) (*DeploymentResult, error) {
+	return RunDeploymentContext(context.Background(), dcfg, slot, duration)
+}
+
+// RunDeploymentContext composes the same layers as RunContext — world
+// build, knowledge, site deployment, collection — across N sites on one
+// medium, then adds the two things only a city has: phones roaming
+// between venues, and a knowledge plane joining the hunters' databases.
+//
+// Cancellation mirrors RunContext: a mid-run cancel returns the partial
+// DeploymentResult together with a non-nil error wrapping ctx.Err().
+func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, duration time.Duration) (*DeploymentResult, error) {
+	cfg := dcfg.Base
+	if cfg.City == nil || cfg.HeatMap == nil {
+		return nil, fmt.Errorf("scenario: city and heat map are required")
+	}
+	if len(dcfg.Sites) == 0 {
+		return nil, fmt.Errorf("scenario: deployment needs at least one site")
+	}
+	if len(dcfg.Sites) > MaxSites {
+		return nil, fmt.Errorf("scenario: %d sites exceed the %d-site limit", len(dcfg.Sites), MaxSites)
+	}
+	radioRange := 0.0
+	for i, v := range dcfg.Sites {
+		if v.Name == "" {
+			return nil, fmt.Errorf("scenario: site %d needs a name", i)
+		}
+		if v.RadioRange <= 0 {
+			return nil, fmt.Errorf("scenario: site %q radio range %v must be positive", v.Name, v.RadioRange)
+		}
+		if slot < 0 || slot >= v.Profile.Slots() {
+			return nil, fmt.Errorf("scenario: slot %d outside site %q profile (0..%d)", slot, v.Name, v.Profile.Slots()-1)
+		}
+		if v.RadioRange > radioRange {
+			radioRange = v.RadioRange
+		}
+	}
+	if dcfg.Knowledge < Isolated || dcfg.Knowledge > Shared {
+		return nil, fmt.Errorf("scenario: unknown knowledge plane %d", int(dcfg.Knowledge))
+	}
+	if dcfg.RoamFraction < 0 || dcfg.RoamFraction > 1 {
+		return nil, fmt.Errorf("scenario: roam fraction %v outside [0,1]", dcfg.RoamFraction)
+	}
+	transit := dcfg.Transit
+	if transit == (mobility.TransitModel{}) {
+		transit = mobility.DefaultTransit()
+	}
+	if err := transit.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	syncEvery := dcfg.SyncEvery
+	if syncEvery <= 0 {
+		syncEvery = time.Minute
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("scenario: non-positive duration %v", duration)
+	}
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Venue = Venue{} // sites replace it; nothing below may consult it
+
+	env, err := newRunEnv(cfg, radioRange)
+	if err != nil {
+		return nil, err
+	}
+
+	// Knowledge layer: one strategy set per site, or one for all.
+	sets := make([]strategySet, len(dcfg.Sites))
+	if dcfg.Knowledge == Shared {
+		positions := make([]geo.Point, len(dcfg.Sites))
+		for i, v := range dcfg.Sites {
+			positions[i] = v.Position
+		}
+		shared, err := buildStrategy(cfg, positions, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		if shared.chEngine != nil {
+			shared.chEngine.Instrument(env.rt)
+		}
+		for i := range sets {
+			sets[i] = shared
+		}
+	} else {
+		for i, v := range dcfg.Sites {
+			// Per-site seeds stay distinct (and site 0 keeps the classic
+			// cfg.Seed+1) so isolated sites don't sample identical ghosts.
+			set, err := buildStrategy(cfg, []geo.Point{v.Position}, cfg.Seed+1+1000*int64(i))
+			if err != nil {
+				return nil, err
+			}
+			if set.chEngine != nil {
+				set.chEngine.Instrument(env.rt)
+			}
+			sets[i] = set
+		}
+	}
+
+	// Site-deployment layer.
+	sites := make([]*site, len(dcfg.Sites))
+	for i, v := range dcfg.Sites {
+		sites[i], err = deploySite(env, v, deploymentSiteIdentity(i), sets[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	scheduleSampling(env, sites)
+	if dcfg.Knowledge == PeriodicSync {
+		scheduleKnowledgeSync(env, sites, syncEvery)
+	}
+
+	// Population layer: one population per site over a shared MAC space,
+	// with dwell endings routed through the roaming coordinator.
+	d := &deploymentRun{env: env, sites: sites, transit: transit, roamFraction: dcfg.RoamFraction}
+	macs := &macAllocator{}
+	attackers := attackerSet(sites)
+	slotStart := time.Duration(slot) * time.Hour
+	pops := make([]*population, len(dcfg.Sites))
+	for i, v := range dcfg.Sites {
+		arrivals, err := mobility.Arrivals(env.rng, scaledProfile(v.Profile, cfg.ArrivalScale), slotStart, duration)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: site %q: %w", v.Name, err)
+		}
+		pop := newPopulation(env, v, sites[i].id.legitMAC, attackers, macs)
+		pop.siteIndex = i
+		pop.endDwell = d.endDwell
+		pops[i] = pop
+		pop.spawnArrivals(arrivals, slotStart, v.Groups(slot), duration)
+	}
+	d.pops = pops
+
+	_, runErr := env.engine.RunContext(ctx, duration)
+
+	// Collection layer.
+	simulated := duration
+	if runErr != nil {
+		simulated = env.engine.Now()
+	}
+	engines := uniqueEngines(sites)
+	dres := &DeploymentResult{
+		Knowledge: dcfg.Knowledge,
+		Roams:     d.roams,
+		Duration:  simulated,
+	}
+	for i, st := range sites {
+		res := assembleResult(env, st, pops[i], slot, simulated, engines)
+		dres.Sites = append(dres.Sites, res)
+		dres.Outcomes = append(dres.Outcomes, res.Outcomes...)
+	}
+	dres.Tally = stats.NewTally(dres.Outcomes)
+	if env.rt != nil {
+		for i, res := range dres.Sites {
+			emitRunTelemetry(env.rt, env, pops[i], res)
+		}
+		for _, res := range dres.Sites {
+			attachObservability(env.rt, res)
+		}
+		dres.Metrics = env.rt.Metrics.Snapshot()
+		dres.Journal = env.rt.Journal
+		dres.Spans = env.rt.Trace
+	}
+	if runErr != nil {
+		return dres, fmt.Errorf("scenario: deployment cancelled after %v of %v: %w",
+			simulated, duration, runErr)
+	}
+	return dres, nil
+}
+
+// scheduleKnowledgeSync arms the PeriodicSync exchange: every period, each
+// engine absorbs the hit records the others gained since the last sync.
+// Absorbed records raise the SSID's weight and hit history at the
+// receiving site without fabricating per-client state there.
+func scheduleKnowledgeSync(env *runEnv, sites []*site, every time.Duration) {
+	engines := uniqueEngines(sites)
+	if len(engines) < 2 {
+		return
+	}
+	consumed := make([]int, len(engines))
+	var sync func()
+	sync = func() {
+		now := env.engine.Now()
+		for i, src := range engines {
+			hits := src.Hits()
+			for _, h := range hits[consumed[i]:] {
+				for j, dst := range engines {
+					if j != i {
+						dst.AbsorbHit(now, h.SSID)
+					}
+				}
+			}
+			consumed[i] = len(hits)
+		}
+		env.engine.Schedule(every, sync)
+	}
+	env.engine.Schedule(every, sync)
+}
+
+// endDwell decides what a phone does when its dwell expires: with
+// probability RoamFraction it walks to another site — keeping its PNL,
+// scan state, MAC, and whatever the knowledge plane remembers about it —
+// otherwise it leaves the city.
+func (d *deploymentRun) endDwell(m *member) {
+	if m.c.State() == client.StateDeparted {
+		return
+	}
+	if len(d.sites) < 2 || d.env.rng.Float64() >= d.roamFraction {
+		m.c.Depart()
+		return
+	}
+	// Uniform choice among the other sites.
+	target := d.env.rng.Intn(len(d.sites) - 1)
+	if target >= m.site {
+		target++
+	}
+	d.startTransit(m, target)
+}
+
+// startTransit walks the phone from its current position to a drawn entry
+// point at the target site. The phone keeps scanning while it walks; for
+// realistic inter-venue distances it spends most of the leg out of every
+// station's radio range, so the ticker is coarse.
+func (d *deploymentRun) startTransit(m *member, target int) {
+	dest := d.sites[target].venue
+	entry := mobility.StaticPos(d.env.rng, dest.Position, dest.RadioRange*0.9)
+	path := d.transit.Path(d.env.rng, m.c.Pos(), entry)
+	m.leg++
+	m.legStart = d.env.engine.Now()
+	leg := m.leg
+	const step = 10 * time.Second
+	var tick func()
+	tick = func() {
+		if m.c.State() == client.StateDeparted || m.leg != leg {
+			return
+		}
+		off := d.env.engine.Now() - m.legStart
+		if off >= path.Duration {
+			m.c.SetPos(path.To)
+			d.arrive(m, target)
+			return
+		}
+		m.c.SetPos(path.At(off))
+		d.env.engine.Schedule(step, tick)
+	}
+	d.env.engine.Schedule(step, tick)
+}
+
+// arrive starts a fresh dwell at the destination site, drawn from that
+// venue's own dwell and movement models.
+func (d *deploymentRun) arrive(m *member, target int) {
+	d.roams++
+	m.roams++
+	m.site = target
+	pop := d.pops[target]
+	venue := pop.venue
+	now := d.env.engine.Now()
+	moving := pop.rng.Float64() < venue.MovingFraction
+	var dwell time.Duration
+	if moving {
+		dwell = venue.MovingDwell.SampleDwell(pop.rng)
+	} else {
+		dwell = venue.StaticDwell.SampleDwell(pop.rng)
+	}
+	m.leg++
+	m.legStart = now
+	m.departAt = now + dwell
+	if moving {
+		path := mobility.CorridorPath(pop.rng, venue.Position, venue.RadioRange, dwell)
+		m.c.SetPos(path.At(0))
+		pop.scheduleMove(m, path)
+	} else {
+		m.c.SetPos(mobility.StaticPos(pop.rng, venue.Position, venue.RadioRange*0.9))
+	}
+	d.env.engine.At(m.departAt, func() { pop.finishDwell(m) })
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cityhunter/internal/mobility"
+)
+
+// deploymentFile is the JSON form of a deployment plan: the sites (in the
+// venue format SaveVenue uses), the knowledge plane, and the roaming
+// model. The Base experiment configuration is NOT part of the format —
+// like campaign files, a deployment plan describes where and how to
+// deploy, while the city, attack kind and population knobs come from the
+// caller (or the CLI flags).
+type deploymentFile struct {
+	Sites        []venueFile  `json:"sites"`
+	Knowledge    string       `json:"knowledge"`
+	SyncEverySec float64      `json:"syncEverySeconds,omitempty"`
+	RoamFraction float64      `json:"roamFraction"`
+	Transit      *transitFile `json:"transit,omitempty"`
+}
+
+type transitFile struct {
+	SpeedMinMPS float64 `json:"speedMinMps"`
+	SpeedMaxMPS float64 `json:"speedMaxMps"`
+}
+
+var knowledgeNames = map[string]KnowledgePlane{
+	"isolated":      Isolated,
+	"periodic-sync": PeriodicSync,
+	"shared":        Shared,
+}
+
+// SaveDeployment writes a deployment plan as JSON. Base is intentionally
+// not serialized (see deploymentFile); everything else round-trips.
+func SaveDeployment(w io.Writer, dcfg DeploymentConfig) error {
+	df := deploymentFile{
+		RoamFraction: dcfg.RoamFraction,
+	}
+	for name, plane := range knowledgeNames {
+		if plane == dcfg.Knowledge {
+			df.Knowledge = name
+		}
+	}
+	if df.Knowledge == "" {
+		return fmt.Errorf("scenario: knowledge plane %v not encodable", dcfg.Knowledge)
+	}
+	if len(dcfg.Sites) == 0 {
+		return fmt.Errorf("scenario: deployment needs at least one site")
+	}
+	for i, v := range dcfg.Sites {
+		vf, err := encodeVenue(v)
+		if err != nil {
+			return fmt.Errorf("scenario: site %d: %w", i, err)
+		}
+		df.Sites = append(df.Sites, vf)
+	}
+	if dcfg.SyncEvery > 0 {
+		df.SyncEverySec = dcfg.SyncEvery.Seconds()
+	}
+	if dcfg.Transit != (mobility.TransitModel{}) {
+		df.Transit = &transitFile{
+			SpeedMinMPS: dcfg.Transit.SpeedMin,
+			SpeedMaxMPS: dcfg.Transit.SpeedMax,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(df); err != nil {
+		return fmt.Errorf("scenario: encode deployment: %w", err)
+	}
+	return nil
+}
+
+// LoadDeployment reads a deployment plan previously written by
+// SaveDeployment (or hand-written in the same format) and validates it.
+// The returned config has an empty Base; fill it before running.
+func LoadDeployment(r io.Reader) (DeploymentConfig, error) {
+	var df deploymentFile
+	if err := json.NewDecoder(r).Decode(&df); err != nil {
+		return DeploymentConfig{}, fmt.Errorf("scenario: decode deployment: %w", err)
+	}
+	var dcfg DeploymentConfig
+	if df.Knowledge == "" {
+		df.Knowledge = "isolated"
+	}
+	plane, ok := knowledgeNames[df.Knowledge]
+	if !ok {
+		return DeploymentConfig{}, fmt.Errorf("scenario: unknown knowledge plane %q", df.Knowledge)
+	}
+	dcfg.Knowledge = plane
+	if len(df.Sites) == 0 {
+		return DeploymentConfig{}, fmt.Errorf("scenario: deployment needs at least one site")
+	}
+	if len(df.Sites) > MaxSites {
+		return DeploymentConfig{}, fmt.Errorf("scenario: %d sites exceed the %d-site limit", len(df.Sites), MaxSites)
+	}
+	for i, vf := range df.Sites {
+		v, err := decodeVenue(vf)
+		if err != nil {
+			return DeploymentConfig{}, fmt.Errorf("scenario: site %d: %w", i, err)
+		}
+		dcfg.Sites = append(dcfg.Sites, v)
+	}
+	if df.RoamFraction < 0 || df.RoamFraction > 1 {
+		return DeploymentConfig{}, fmt.Errorf("scenario: roam fraction %v outside [0,1]", df.RoamFraction)
+	}
+	dcfg.RoamFraction = df.RoamFraction
+	if df.SyncEverySec < 0 {
+		return DeploymentConfig{}, fmt.Errorf("scenario: sync period %vs must not be negative", df.SyncEverySec)
+	}
+	dcfg.SyncEvery = time.Duration(df.SyncEverySec * float64(time.Second))
+	if df.Transit != nil {
+		dcfg.Transit = mobility.TransitModel{
+			SpeedMin: df.Transit.SpeedMinMPS,
+			SpeedMax: df.Transit.SpeedMaxMPS,
+		}
+		if err := dcfg.Transit.Validate(); err != nil {
+			return DeploymentConfig{}, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	return dcfg, nil
+}

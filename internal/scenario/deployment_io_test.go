@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cityhunter/internal/mobility"
+)
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	in := DeploymentConfig{
+		Sites:        []Venue{CanteenVenue(), PassageVenue(), MallVenue()},
+		Knowledge:    PeriodicSync,
+		SyncEvery:    45 * time.Second,
+		RoamFraction: 0.35,
+		Transit:      mobility.TransitModel{SpeedMin: 1.0, SpeedMax: 2.0},
+	}
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, in); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	out, err := LoadDeployment(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if out.Knowledge != in.Knowledge || out.SyncEvery != in.SyncEvery ||
+		out.RoamFraction != in.RoamFraction || out.Transit != in.Transit {
+		t.Fatalf("plane fields did not round-trip: %+v", out)
+	}
+	if len(out.Sites) != len(in.Sites) {
+		t.Fatalf("%d sites round-tripped to %d", len(in.Sites), len(out.Sites))
+	}
+	for i := range in.Sites {
+		if out.Sites[i].Name != in.Sites[i].Name || out.Sites[i].Position != in.Sites[i].Position {
+			t.Errorf("site %d diverged: %+v", i, out.Sites[i])
+		}
+	}
+	// A loaded plan plus a Base must actually run.
+	out.Base = baseConfig(t, Venue{}, CityHunter, 1)
+	out.Base.ArrivalScale = 0.25
+	if _, err := RunDeployment(out, 0, time.Minute); err != nil {
+		t.Fatalf("loaded deployment does not run: %v", err)
+	}
+}
+
+func TestSaveDeploymentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, DeploymentConfig{Knowledge: KnowledgePlane(7), Sites: []Venue{CanteenVenue()}}); err == nil ||
+		!strings.Contains(err.Error(), "not encodable") {
+		t.Errorf("bad knowledge plane: %v", err)
+	}
+	if err := SaveDeployment(&buf, DeploymentConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "at least one site") {
+		t.Errorf("empty site list: %v", err)
+	}
+	custom := CanteenVenue()
+	custom.Kind = VenueKind(42)
+	if err := SaveDeployment(&buf, DeploymentConfig{Sites: []Venue{custom}}); err == nil ||
+		!strings.Contains(err.Error(), "site 0") {
+		t.Errorf("unencodable site kind: %v", err)
+	}
+}
+
+func TestLoadDeploymentErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage", "{", "decode deployment"},
+		{"unknown plane", `{"knowledge":"telepathy","sites":[]}`, `unknown knowledge plane "telepathy"`},
+		{"no sites", `{"knowledge":"isolated","sites":[]}`, "at least one site"},
+		{"bad site", `{"knowledge":"shared","sites":[{"kind":"canteen","name":"x","radioRange":-3}]}`, "site 0"},
+		{"bad roam", `{"knowledge":"shared","roamFraction":2,"sites":[{"kind":"canteen","name":"x","radioRange":50,"arrivalsPerMinute":[1],"staticDwell":{"medianMinutes":5,"sigma":0.5,"maxMinutes":20}}]}`, "roam fraction 2 outside [0,1]"},
+		{"bad sync", `{"knowledge":"shared","syncEverySeconds":-4,"sites":[{"kind":"canteen","name":"x","radioRange":50,"arrivalsPerMinute":[1],"staticDwell":{"medianMinutes":5,"sigma":0.5,"maxMinutes":20}}]}`, "sync period"},
+		{"bad transit", `{"knowledge":"shared","transit":{"speedMinMps":2,"speedMaxMps":1},"sites":[{"kind":"canteen","name":"x","radioRange":50,"arrivalsPerMinute":[1],"staticDwell":{"medianMinutes":5,"sigma":0.5,"maxMinutes":20}}]}`, "transit speed max"},
+	}
+	for _, tc := range cases {
+		_, err := LoadDeployment(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Omitted knowledge defaults to isolated for hand-written plans.
+	dcfg, err := LoadDeployment(strings.NewReader(
+		`{"sites":[{"kind":"canteen","name":"x","radioRange":50,"arrivalsPerMinute":[1],"staticDwell":{"medianMinutes":5,"sigma":0.5,"maxMinutes":20}}]}`))
+	if err != nil {
+		t.Fatalf("minimal plan rejected: %v", err)
+	}
+	if dcfg.Knowledge != Isolated {
+		t.Errorf("omitted knowledge plane decoded as %v", dcfg.Knowledge)
+	}
+}

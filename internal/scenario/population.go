@@ -20,10 +20,37 @@ type member struct {
 	arrived  time.Duration
 	departAt time.Duration
 	direct   bool
+
+	// site is the index of the deployment site the phone currently dwells
+	// at (always 0 for a single-venue run).
+	site int
+	// legStart anchors the current movement path; equal to arrived until
+	// the phone roams to another site.
+	legStart time.Duration
+	// leg counts movement legs (dwell, transit, dwell, ...). Position
+	// tickers capture it and stop when a newer leg supersedes them.
+	leg int
+	// roams counts completed inter-site transits.
+	roams int
 }
 
-// population creates phones on arrival, moves the walkers, and departs
-// everyone on schedule.
+// macAllocator hands out unique, deterministic client MACs (locally
+// administered). Deployments share one allocator across their per-site
+// populations so phones stay unique city-wide.
+type macAllocator struct {
+	next uint32
+}
+
+func (a *macAllocator) mac() ieee80211.MAC {
+	a.next++
+	n := a.next
+	return ieee80211.MAC{0x02, 0x00, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// population creates phones on arrival at one venue, moves the walkers,
+// and ends everyone's dwell on schedule. What happens when a dwell ends is
+// pluggable: a single-venue run departs the phone; a deployment may hand
+// it a transit leg to another site.
 type population struct {
 	engine *sim.Engine
 	medium *sim.Medium
@@ -32,19 +59,43 @@ type population struct {
 	cfg    Config
 	obs    *obs.Runtime
 
+	// venue is where this population spawns (Config.Venue for a
+	// single-venue run, one of the deployment's sites otherwise).
+	venue Venue
+	// siteIndex is the venue's position in the deployment's site list.
+	siteIndex int
+	// legitMAC is the venue's legitimate AP for pre-connected phones.
+	legitMAC ieee80211.MAC
+	// attackers is the membership test for "associated to a rogue AP".
+	attackers map[ieee80211.MAC]bool
+	// endDwell, when non-nil, is invoked instead of Depart when a
+	// member's dwell expires — the deployment roaming hook.
+	endDwell func(*member)
+
 	members []*member
-	nextMAC uint32
+	macs    *macAllocator
 }
 
-func newPopulation(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, model *pnl.Model, cfg Config, rt *obs.Runtime) *population {
-	return &population{engine: engine, medium: medium, rng: rng, model: model, cfg: cfg, obs: rt}
+func newPopulation(env *runEnv, venue Venue, legitMAC ieee80211.MAC, attackers map[ieee80211.MAC]bool, macs *macAllocator) *population {
+	return &population{
+		engine: env.engine, medium: env.medium, rng: env.rng,
+		model: env.model, cfg: env.cfg, obs: env.rt,
+		venue: venue, legitMAC: legitMAC, attackers: attackers, macs: macs,
+	}
 }
 
-// mac hands out unique, deterministic client MACs (locally administered).
-func (p *population) mac() ieee80211.MAC {
-	p.nextMAC++
-	n := p.nextMAC
-	return ieee80211.MAC{0x02, 0x00, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+// spawnArrivals schedules the slot's arrival stream as social groups.
+// Group-size draws happen here, at scheduling time, in arrival order.
+func (p *population) spawnArrivals(arrivals []time.Duration, slotStart time.Duration, groups mobility.GroupModel, horizon time.Duration) {
+	for i := 0; i < len(arrivals); {
+		at := arrivals[i] - slotStart
+		size := groups.SampleSize(p.rng)
+		if size > len(arrivals)-i {
+			size = len(arrivals) - i
+		}
+		p.spawnGroup(at, size, horizon)
+		i += size
+	}
 }
 
 // spawnGroup schedules a social group of the given size to arrive at the
@@ -52,7 +103,7 @@ func (p *population) mac() ieee80211.MAC {
 // dwell, shared PNL entries.
 func (p *population) spawnGroup(at time.Duration, size int, horizon time.Duration) {
 	p.engine.At(at, func() {
-		venue := p.cfg.Venue
+		venue := p.venue
 		moving := p.rng.Float64() < venue.MovingFraction
 		var dwell time.Duration
 		if moving {
@@ -93,7 +144,7 @@ func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path,
 		list = p.model.AugmentUnsafe(p.rng, list)
 	}
 	cfg := client.Config{
-		MAC:           p.mac(),
+		MAC:           p.macs.mac(),
 		PNL:           list,
 		DirectProber:  direct,
 		ScanInterval:  time.Duration(float64(p.cfg.ScanInterval) * (0.7 + 0.6*p.rng.Float64())),
@@ -102,7 +153,7 @@ func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path,
 		Obs:           p.obs,
 	}
 	if p.cfg.PreconnectedFraction > 0 && p.rng.Float64() < p.cfg.PreconnectedFraction {
-		cfg.PreconnectedBSSID = legitAPMAC
+		cfg.PreconnectedBSSID = p.legitMAC
 	}
 	c, err := client.New(p.engine, p.medium, p.rng, cfg)
 	if err != nil {
@@ -113,37 +164,52 @@ func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path,
 	if moving {
 		c.SetPos(path.At(0))
 	} else {
-		c.SetPos(mobility.StaticPos(p.rng, p.cfg.Venue.Position, p.cfg.Venue.RadioRange*0.9))
+		c.SetPos(mobility.StaticPos(p.rng, p.venue.Position, p.venue.RadioRange*0.9))
 	}
 	if err := c.Start(); err != nil {
 		return
 	}
 
-	m := &member{c: c, arrived: now, departAt: now + dwell, direct: cfg.DirectProber}
+	m := &member{c: c, arrived: now, departAt: now + dwell, direct: cfg.DirectProber,
+		site: p.siteIndex, legStart: now}
 	p.members = append(p.members, m)
 
 	if moving {
 		p.scheduleMove(m, path)
 	}
-	p.engine.At(m.departAt, func() { c.Depart() })
+	p.engine.At(m.departAt, func() { p.finishDwell(m) })
 }
 
-// scheduleMove updates a walker's position every 2 s along its path.
+// finishDwell ends a member's stay at its current site: a deployment with
+// roaming may hand the phone a transit leg; everyone else leaves.
+func (p *population) finishDwell(m *member) {
+	if p.endDwell != nil {
+		p.endDwell(m)
+		return
+	}
+	m.c.Depart()
+}
+
+// scheduleMove updates a walker's position every 2 s along its path. The
+// ticker dies when the phone departs or starts a newer movement leg.
 func (p *population) scheduleMove(m *member, path mobility.Path) {
 	const step = 2 * time.Second
+	leg := m.leg
 	var tick func()
 	tick = func() {
-		if m.c.State() == client.StateDeparted {
+		if m.c.State() == client.StateDeparted || m.leg != leg {
 			return
 		}
-		m.c.SetPos(path.At(p.engine.Now() - m.arrived))
+		m.c.SetPos(path.At(p.engine.Now() - m.legStart))
 		p.engine.Schedule(step, tick)
 	}
 	p.engine.Schedule(step, tick)
 }
 
-// outcomes summarises every member after the run.
-func (p *population) outcomes(now time.Duration, eng *core.Engine) []stats.ClientOutcome {
+// outcomes summarises every member after the run. engines lists the
+// distinct City-Hunter engines whose reply counts should be credited (a
+// roaming phone may have been served by several isolated sites).
+func (p *population) outcomes(now time.Duration, engines []*core.Engine) []stats.ClientOutcome {
 	out := make([]stats.ClientOutcome, 0, len(p.members))
 	for _, m := range p.members {
 		st := m.c.Stats
@@ -156,11 +222,11 @@ func (p *population) outcomes(now time.Duration, eng *core.Engine) []stats.Clien
 			Departed:     departed,
 			DirectProber: m.direct,
 			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
-			Connected:    st.Connected && st.ConnectedTo == attackerMAC,
+			Connected:    st.Connected && p.attackers[st.ConnectedTo],
 			ConnectedAt:  st.ConnectedAt,
 		}
-		if eng != nil {
-			o.SSIDsSent = eng.SentCount(m.c.Addr())
+		for _, eng := range engines {
+			o.SSIDsSent += eng.SentCount(m.c.Addr())
 		}
 		out = append(out, o)
 	}

@@ -3,13 +3,10 @@ package scenario
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"cityhunter/internal/ap"
 	"cityhunter/internal/attack"
 	"cityhunter/internal/citygen"
-	"cityhunter/internal/client"
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
 	"cityhunter/internal/geo"
@@ -18,7 +15,6 @@ import (
 	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
-	"cityhunter/internal/sim"
 	"cityhunter/internal/stats"
 	"cityhunter/internal/trace"
 	"cityhunter/internal/wigle"
@@ -191,7 +187,8 @@ func (r *Result) Breakdown() stats.Breakdown {
 	})
 }
 
-// attackerMAC is the attacker's fixed BSSID in every scenario.
+// attackerMAC is the attacker's fixed BSSID in every single-venue scenario
+// (deployment site 0 reuses it; see deploymentSiteIdentity).
 var attackerMAC = ieee80211.MAC{0x0a, 0xc1, 0x7f, 0x00, 0x00, 0x01}
 
 // legitAPMAC is the venue AP used for pre-connected phones.
@@ -216,6 +213,11 @@ func Run(cfg Config, slot int, duration time.Duration) (*Result, error) {
 // virtual time, not the requested one) — together with a non-nil error
 // wrapping ctx.Err(). Configuration errors detected before the simulation
 // starts return a nil Result as Run does.
+//
+// Internally the run composes the same four layers a multi-site
+// Deployment uses: world build (newRunEnv), knowledge (buildStrategy),
+// site deployment (deploySite), and collection (assembleResult) — with
+// exactly one site and no roaming.
 func RunContext(ctx context.Context, cfg Config, slot int, duration time.Duration) (*Result, error) {
 	if cfg.City == nil || cfg.HeatMap == nil {
 		return nil, fmt.Errorf("scenario: city and heat map are required")
@@ -226,332 +228,58 @@ func RunContext(ctx context.Context, cfg Config, slot int, duration time.Duratio
 	if duration <= 0 {
 		return nil, fmt.Errorf("scenario: non-positive duration %v", duration)
 	}
-	if cfg.DirectProberFraction < 0 || cfg.DirectProberFraction > 1 {
-		return nil, fmt.Errorf("scenario: direct prober fraction %v outside [0,1]", cfg.DirectProberFraction)
-	}
-	if cfg.PreconnectedFraction < 0 || cfg.PreconnectedFraction > 1 {
-		return nil, fmt.Errorf("scenario: preconnected fraction %v outside [0,1]", cfg.PreconnectedFraction)
-	}
-	if cfg.CanaryFraction < 0 || cfg.CanaryFraction > 1 {
-		return nil, fmt.Errorf("scenario: canary fraction %v outside [0,1]", cfg.CanaryFraction)
-	}
-	if cfg.RandomizeMACFraction < 0 || cfg.RandomizeMACFraction > 1 {
-		return nil, fmt.Errorf("scenario: randomize-MAC fraction %v outside [0,1]", cfg.RandomizeMACFraction)
-	}
-	if cfg.FrameLoss < 0 || cfg.FrameLoss >= 1 {
-		return nil, fmt.Errorf("scenario: frame loss %v outside [0,1)", cfg.FrameLoss)
-	}
-	if cfg.ScanInterval <= 0 {
-		cfg.ScanInterval = client.DefaultScanInterval
-	}
-	if cfg.ArrivalScale <= 0 {
-		cfg.ArrivalScale = 1
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	engine := sim.NewEngine()
-	var mediumOpts []sim.MediumOption
-	if cfg.FrameLoss > 0 {
-		mediumOpts = append(mediumOpts, sim.WithFrameLoss(cfg.FrameLoss, cfg.Seed+5))
-	}
-	medium := sim.NewMedium(engine, cfg.Venue.RadioRange, mediumOpts...)
-
-	// Observability: one runtime feeds every instrumented layer. It never
-	// consumes run randomness, so enabling it cannot perturb a seed.
-	var rt *obs.Runtime
-	if cfg.Metrics || cfg.FlightRecorderCap > 0 || cfg.SpanTrace {
-		rt = &obs.Runtime{}
-		if cfg.Metrics {
-			rt.Metrics = obs.NewRegistry()
-		}
-		if cfg.FlightRecorderCap > 0 {
-			rt.Journal = obs.NewJournal(cfg.FlightRecorderCap)
-		}
-		if cfg.SpanTrace {
-			rt.Trace = obs.NewTrace()
-		}
-		engine.Instrument(rt)
-		medium.Instrument(rt)
-	}
-
-	pnlModel := cfg.PNL
-	if pnlModel == nil {
-		var err error
-		pnlModel, err = pnl.NewModel(cfg.City.DB, cfg.HeatMap, pnl.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("scenario: build pnl model: %w", err)
-		}
-	}
-
-	strategy, chEngine, mana, err := buildStrategy(cfg, pnlModel)
+	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
 	}
-	var beacons []string
-	respondToDirect := true
-	if cfg.Attack == KnownBeacons {
-		respondToDirect = false
-		beacons, err = lureList(cfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	maxReplies := 0 // 0 → the protocol default of 40
-	if chEngine != nil && cfg.CoreConfig != nil {
-		// Ablations that shrink or grow the engine's reply budget need
-		// the base station to follow suit.
-		maxReplies = cfg.CoreConfig.ReplyBudget
-	}
-	if chEngine != nil {
-		chEngine.Instrument(rt)
-	}
-	atk, err := attack.New(engine, medium, strategy, attack.Config{
-		MAC:                 attackerMAC,
-		Pos:                 cfg.Venue.Position,
-		Channel:             6,
-		Obs:                 rt,
-		MaxBroadcastReplies: maxReplies,
-		RespondToDirect:     respondToDirect,
-		CautiousMirror:      cfg.CautiousMirror,
-		Beacons:             beacons,
-		// wifiphisher blasts known beacons as fast as the card allows;
-		// 2 ms pacing ≈ 500 beacons/s at ~12% channel utilisation.
-		BeaconEvery: 2 * time.Millisecond,
-		Deauth:      attack.DeauthConfig{Enabled: cfg.EnableDeauth, Interval: 5 * time.Second},
-	})
+
+	env, err := newRunEnv(cfg, cfg.Venue.RadioRange)
 	if err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	if err := atk.Start(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, err
 	}
 
-	if cfg.PreconnectedFraction > 0 {
-		legit, err := ap.New(engine, medium, ap.Config{
-			MAC:     legitAPMAC,
-			SSID:    "Venue Official WiFi", // outside the PNL universe
-			Pos:     cfg.Venue.Position.Add(geo.Pt(15, 0)),
-			Channel: 6,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		if err := legit.Start(); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
+	set, err := buildStrategy(cfg, []geo.Point{cfg.Venue.Position}, cfg.Seed+1)
+	if err != nil {
+		return nil, err
 	}
-
-	var sentinel *detect.Sentinel
-	if cfg.Sentinel {
-		sentinel = detect.NewSentinel(engine,
-			ieee80211.MAC{0x0a, 0xde, 0x7e, 0xc7, 0x00, 0x01},
-			cfg.Venue.Position.Add(geo.Pt(-10, 5)), 0)
-		if err := medium.AttachPromiscuous(sentinel); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
+	if set.chEngine != nil {
+		set.chEngine.Instrument(env.rt)
 	}
-	var monitor *trace.Monitor
-	if cfg.Trace {
-		monitor = trace.NewMonitor(engine,
-			ieee80211.MAC{0x0a, 0x28, 0xca, 0x72, 0x00, 0x01},
-			cfg.Venue.Position.Add(geo.Pt(10, -5)))
-		monitor.MaxEntries = cfg.TraceMaxEntries
-		if monitor.MaxEntries == 0 {
-			monitor.MaxEntries = 1 << 20
-		}
-		if rt != nil {
-			journal := rt.Journal
-			monitor.OnFirstDrop = func() {
-				journal.Record(engine.Now(), obs.EventTraceDrop, "trace-monitor",
-					fmt.Sprintf("capture reached its %d-entry cap; subsequent frames dropped", monitor.MaxEntries))
-			}
-		}
-		if err := medium.AttachPromiscuous(monitor); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
+	st, err := deploySite(env, cfg.Venue, singleSiteIdentity(), set)
+	if err != nil {
+		return nil, err
 	}
+	sites := []*site{st}
 
 	// Periodic engine sampling for the time-series figures.
-	if cfg.SampleEvery > 0 {
-		var sample func()
-		sample = func() {
-			if chEngine != nil {
-				chEngine.SampleState(engine.Now())
-			}
-			if mana != nil {
-				mana.SampleSize(engine.Now())
-			}
-			engine.Schedule(cfg.SampleEvery, sample)
-		}
-		engine.Schedule(0, sample)
-	}
+	scheduleSampling(env, sites)
 
 	// Arrivals for this slot only; offsets are measured from slot start.
 	slotStart := time.Duration(slot) * time.Hour
-	profile := cfg.Venue.Profile
-	if cfg.ArrivalScale != 1 {
-		scaled := make([]float64, len(profile.PerMinute))
-		for i, r := range profile.PerMinute {
-			scaled[i] = r * cfg.ArrivalScale
-		}
-		profile = mobility.Profile{StartHour: profile.StartHour, PerMinute: scaled}
-	}
-	arrivals, err := mobility.Arrivals(rng, profile, slotStart, duration)
+	arrivals, err := mobility.Arrivals(env.rng, scaledProfile(cfg.Venue.Profile, cfg.ArrivalScale), slotStart, duration)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
-	pop := newPopulation(engine, medium, rng, pnlModel, cfg, rt)
-	groups := cfg.Venue.Groups(slot)
-	for i := 0; i < len(arrivals); {
-		at := arrivals[i] - slotStart
-		size := groups.SampleSize(rng)
-		if size > len(arrivals)-i {
-			size = len(arrivals) - i
-		}
-		pop.spawnGroup(at, size, duration)
-		i += size
-	}
+	pop := newPopulation(env, cfg.Venue, st.id.legitMAC, attackerSet(sites), &macAllocator{})
+	pop.spawnArrivals(arrivals, slotStart, cfg.Venue.Groups(slot), duration)
 
-	_, runErr := engine.RunContext(ctx, duration)
+	_, runErr := env.engine.RunContext(ctx, duration)
 
-	canaryDetections := 0
-	for _, m := range pop.members {
-		canaryDetections += m.c.Stats.CanaryDetections
-	}
-	attackName := strategy.Name()
-	if cfg.Attack == KnownBeacons {
-		// The beaconing attacker reuses the silent KARMA strategy for
-		// its (absent) probe handling; report the kind instead.
-		attackName = cfg.Attack.String()
-	}
 	simulated := duration
 	if runErr != nil {
 		// Cancelled mid-run: the engine clock rests at the last executed
 		// event, which is how much virtual time the partial result covers.
-		simulated = engine.Now()
+		simulated = env.engine.Now()
 	}
-	res := &Result{
-		Venue:              cfg.Venue.Name,
-		Slot:               slot,
-		SlotLabel:          cfg.Venue.Profile.SlotLabel(slot),
-		Duration:           simulated,
-		Attack:             attackName,
-		Outcomes:           pop.outcomes(engine.Now(), chEngine),
-		Report:             atk.Report(),
-		Victims:            atk.Victims(),
-		Engine:             chEngine,
-		Mana:               mana,
-		HitsByVictimDirect: make(map[ieee80211.MAC]bool),
-		Sentinel:           sentinel,
-		Trace:              monitor,
-		CanaryDetections:   canaryDetections,
-	}
-	res.Tally = stats.NewTally(res.Outcomes)
-	for _, v := range res.Victims {
-		res.HitsByVictimDirect[v.MAC] = v.DirectProber
-	}
-	if monitor != nil {
-		res.TraceDropped = monitor.Dropped
-	}
-	if rt != nil {
-		finishObservability(rt, engine, pop, res)
+	res := assembleResult(env, st, pop, slot, simulated, uniqueEngines(sites))
+	if env.rt != nil {
+		emitRunTelemetry(env.rt, env, pop, res)
+		attachObservability(env.rt, res)
 	}
 	if runErr != nil {
 		return res, fmt.Errorf("scenario: run cancelled after %v of %v: %w",
 			simulated, duration, runErr)
 	}
 	return res, nil
-}
-
-// finishObservability emits the end-of-run telemetry: one lifecycle span
-// per phone, runner-level tallies in the registry, and the snapshot/journal
-// /trace attachments on the Result.
-func finishObservability(rt *obs.Runtime, engine *sim.Engine, pop *population, res *Result) {
-	now := engine.Now()
-	if rt.Trace != nil {
-		for _, m := range pop.members {
-			end := m.departAt
-			if end > now {
-				end = now
-			}
-			rt.Trace.Span("client", "lifecycle", m.c.TraceTID(), m.arrived, end, map[string]any{
-				"mac":    m.c.Addr().String(),
-				"direct": m.direct,
-			})
-		}
-	}
-	if rt.Metrics != nil {
-		rt.Metrics.Counter("scenario_clients").Add(int64(len(pop.members)))
-		rt.Metrics.Counter("scenario_victims").Add(int64(len(res.Victims)))
-		rt.Metrics.Counter("scenario_canary_detections").Add(int64(res.CanaryDetections))
-		rt.Metrics.Counter("scenario_trace_dropped_frames").Add(int64(res.TraceDropped))
-		rt.Metrics.Gauge("scenario_virtual_seconds").Set(now.Seconds())
-	}
-	res.Metrics = rt.Metrics.Snapshot()
-	res.Journal = rt.Journal
-	res.Spans = rt.Trace
-}
-
-// lureList derives the known-beacons SSID list: the same WiGLE seeding
-// City-Hunter starts from, in weight order.
-func lureList(cfg Config) ([]string, error) {
-	ccfg := core.DefaultConfig(core.ModePreliminary)
-	seedDB := cfg.WiGLE
-	if seedDB == nil {
-		seedDB = cfg.City.DB
-	}
-	eng, err := core.NewEngine(ccfg, &core.SeedData{
-		DB:       seedDB,
-		HeatMap:  cfg.HeatMap,
-		Position: cfg.Venue.Position,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scenario: build lure list: %w", err)
-	}
-	entries := eng.TopEntries(eng.DBSize())
-	out := make([]string, len(entries))
-	for i, e := range entries {
-		out[i] = e.SSID
-	}
-	return out, nil
-}
-
-// buildStrategy constructs the configured attacker strategy.
-func buildStrategy(cfg Config, pnlModel *pnl.Model) (attack.Strategy, *core.Engine, *attack.Mana, error) {
-	switch cfg.Attack {
-	case KARMA, KnownBeacons:
-		return attack.NewKarma(), nil, nil, nil
-	case MANA:
-		m := attack.NewMana()
-		return m, nil, m, nil
-	case CityHunterPreliminary, CityHunter:
-		mode := core.ModeFull
-		if cfg.Attack == CityHunterPreliminary {
-			mode = core.ModePreliminary
-		}
-		ccfg := core.DefaultConfig(mode)
-		if cfg.CoreConfig != nil {
-			ccfg = *cfg.CoreConfig
-		}
-		if ccfg.Seed == 0 {
-			ccfg.Seed = cfg.Seed + 1
-		}
-		seedDB := cfg.WiGLE
-		if seedDB == nil {
-			seedDB = cfg.City.DB
-		}
-		eng, err := core.NewEngine(ccfg, &core.SeedData{
-			DB:       seedDB,
-			HeatMap:  cfg.HeatMap,
-			Position: cfg.Venue.Position,
-		})
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("scenario: build engine: %w", err)
-		}
-		_ = pnlModel
-		return eng, eng, nil, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("scenario: unknown attack kind %d", int(cfg.Attack))
-	}
 }

@@ -47,6 +47,21 @@ var kindNames = map[string]VenueKind{
 // SaveVenue writes a venue as JSON. Only the built-in dwell-model types are
 // encodable; custom DwellModel implementations need their own persistence.
 func SaveVenue(w io.Writer, v Venue) error {
+	vf, err := encodeVenue(v)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(vf); err != nil {
+		return fmt.Errorf("scenario: encode venue: %w", err)
+	}
+	return nil
+}
+
+// encodeVenue converts a venue to its file form (shared with the
+// deployment format, which embeds sites inline).
+func encodeVenue(v Venue) (venueFile, error) {
 	vf := venueFile{
 		Name:           v.Name,
 		Position:       v.Position,
@@ -62,7 +77,7 @@ func SaveVenue(w io.Writer, v Venue) error {
 		}
 	}
 	if vf.Kind == "" {
-		return fmt.Errorf("scenario: venue kind %v not encodable", v.Kind)
+		return venueFile{}, fmt.Errorf("scenario: venue kind %v not encodable", v.Kind)
 	}
 	switch d := v.StaticDwell.(type) {
 	case mobility.StaticDwell:
@@ -73,7 +88,7 @@ func SaveVenue(w io.Writer, v Venue) error {
 		}
 	case nil:
 	default:
-		return fmt.Errorf("scenario: static dwell %T not encodable", v.StaticDwell)
+		return venueFile{}, fmt.Errorf("scenario: static dwell %T not encodable", v.StaticDwell)
 	}
 	switch d := v.MovingDwell.(type) {
 	case mobility.CorridorDwell:
@@ -84,14 +99,9 @@ func SaveVenue(w io.Writer, v Venue) error {
 		}
 	case nil:
 	default:
-		return fmt.Errorf("scenario: moving dwell %T not encodable", v.MovingDwell)
+		return venueFile{}, fmt.Errorf("scenario: moving dwell %T not encodable", v.MovingDwell)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(vf); err != nil {
-		return fmt.Errorf("scenario: encode venue: %w", err)
-	}
-	return nil
+	return vf, nil
 }
 
 // LoadVenue reads a venue previously written by SaveVenue (or hand-written
@@ -101,6 +111,12 @@ func LoadVenue(r io.Reader) (Venue, error) {
 	if err := json.NewDecoder(r).Decode(&vf); err != nil {
 		return Venue{}, fmt.Errorf("scenario: decode venue: %w", err)
 	}
+	return decodeVenue(vf)
+}
+
+// decodeVenue validates a venue's file form and converts it (shared with
+// the deployment format).
+func decodeVenue(vf venueFile) (Venue, error) {
 	kind, ok := kindNames[vf.Kind]
 	if !ok {
 		return Venue{}, fmt.Errorf("scenario: unknown venue kind %q", vf.Kind)
