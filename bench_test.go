@@ -238,6 +238,29 @@ func BenchmarkCanteenRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCityScale measures the level-of-detail tier: a dozen-district
+// city with a 10k-pedestrian far-field crowd, three attacked districts, and
+// promotion to full fidelity only inside the radio-range boundaries. The
+// cost is dominated by window precomputation plus the promoted minority, so
+// this is the snapshot guard for the far-field hot path.
+func BenchmarkCityScale(b *testing.B) {
+	w := benchWorld(b)
+	opts := experiments.Options{
+		SlotDuration: 20 * time.Minute,
+		ArrivalScale: 0.1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CityScale(context.Background(), w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
 // BenchmarkCountermeasures regenerates the §VI defence report.
 func BenchmarkCountermeasures(b *testing.B) {
 	w := benchWorld(b)

@@ -69,6 +69,15 @@ type (
 	DeploymentResult = scenario.DeploymentResult
 	KnowledgePlane   = scenario.KnowledgePlane
 	TransitModel     = mobility.TransitModel
+
+	// City-scale level-of-detail population: a statistical far-field tier
+	// promoted to full client fidelity only inside each site's promotion
+	// boundary (see WithPopulationScale, WithLODRadius, WithFarField).
+	FarFieldConfig = scenario.FarFieldConfig
+	FarFieldResult = scenario.FarFieldResult
+	FarFieldSite   = scenario.FarFieldSite
+	RouteStop      = mobility.RouteStop
+	RouteModel     = mobility.RouteModel
 	// RunConfig is the raw per-run configuration RunOptions assemble. It
 	// is exposed for RunSpec.Configure hooks; most callers never touch it
 	// directly.
@@ -155,6 +164,12 @@ var (
 	// SparseCityConfig is a low-density suburb variant with a thin
 	// public-Wi-Fi ecosystem.
 	SparseCityConfig = citygen.SparseConfig
+	// CityScaleCityConfig is the dozen-district variant built for
+	// level-of-detail runs: a deployment attacking three districts leaves
+	// the rest as pure far-field traffic.
+	CityScaleCityConfig = citygen.CityScaleConfig
+	// DefaultRouteModel is the far-field itinerary model.
+	DefaultRouteModel = mobility.DefaultRoute
 )
 
 // Venue persistence, re-exported: venues round-trip through a declarative
@@ -573,6 +588,45 @@ func WithTransit(m TransitModel) DeployOption {
 // configuration — seeds, population fractions, deauth, observability.
 func WithRunOptions(opts ...RunOption) DeployOption {
 	return deployOptionFunc(func(o *deployOptions) { ApplyOptions(&o.dcfg.Base, opts...) })
+}
+
+// farField returns the deployment's far-field config, creating it on first
+// use so the level-of-detail options compose in any order.
+func (o *deployOptions) farField() *FarFieldConfig {
+	if o.dcfg.FarField == nil {
+		o.dcfg.FarField = &scenario.FarFieldConfig{}
+	}
+	return o.dcfg.FarField
+}
+
+// WithPopulationScale adds a far-field population of n statistical
+// pedestrians roaming the whole city. They cost almost nothing until their
+// routes cross a site's promotion boundary, where they are promoted to full
+// client fidelity (and demoted again on exit) — 100k–1M pedestrians is the
+// design envelope. Without further options they route between districts
+// derived from the deployed sites; see WithCityRoutes and WithFarField.
+func WithPopulationScale(n int) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.farField().Pedestrians = n })
+}
+
+// WithLODRadius sets the promotion boundary radius around each site
+// (default 1.25× the largest site radio range, so phones exist slightly
+// before the attacker can hear them).
+func WithLODRadius(metres float64) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.farField().Radius = metres })
+}
+
+// WithCityRoutes replaces the far-field routing destinations — typically
+// World.City.RouteStops(), which maps every citygen district onto a stop
+// weighted by its attractiveness.
+func WithCityRoutes(stops []RouteStop) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.farField().Stops = stops })
+}
+
+// WithFarField replaces the whole far-field configuration for callers that
+// need the long tail of knobs (entry area, itinerary model, spawn seed).
+func WithFarField(cfg FarFieldConfig) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { c := cfg; o.dcfg.FarField = &c })
 }
 
 // DeploySites runs one attacker of the chosen kind at each site for the

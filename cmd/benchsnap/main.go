@@ -54,6 +54,7 @@ type tier struct {
 
 var tiers = []tier{
 	{pkg: ".", bench: "^BenchmarkCanteenRun$", benchtime: "5x"},
+	{pkg: ".", bench: "^BenchmarkCityScale$", benchtime: "3x"},
 	{pkg: "./internal/campaign", bench: "^BenchmarkCampaignGrid$", benchtime: "2x"},
 	{pkg: "./internal/core", bench: "^BenchmarkBroadcastReply", benchtime: "200000x"},
 	{pkg: "./internal/ieee80211", bench: "Marshal", benchtime: "2000000x"},

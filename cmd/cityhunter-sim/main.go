@@ -76,6 +76,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		campaignFile = fs.String("campaign-file", "", "run the campaign declared in this JSON spec file instead of a single deployment")
 		deployFile   = fs.String("deployment", "", "run the multi-site deployment plan in this JSON file instead of a single venue")
 		parallel     = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		population   = fs.Int("population", 0, "far-field pedestrians roaming the city in a -deployment run (level-of-detail tier)")
+		lodRadius    = fs.Float64("lod-radius", 0, "promotion boundary radius in metres around each site (0 = 1.25x the largest radio range)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -117,7 +119,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		} else if *preconnected > 0 {
 			opts = append(opts, cityhunter.WithPreconnected(*preconnected))
 		}
-		return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed, opts...)
+		return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed,
+			*population, *lodRadius, opts...)
+	}
+	if *population > 0 {
+		return fmt.Errorf("-population needs a -deployment plan (the far-field tier promotes around deployed sites)")
 	}
 
 	var venue cityhunter.Venue
@@ -316,7 +322,7 @@ func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, pa
 // one shared medium, printing the per-site rows followed by the pooled tally
 // that the plan's knowledge plane produced.
 func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhunter.AttackKind,
-	slot, minutes int, seed int64, opts ...cityhunter.RunOption) error {
+	slot, minutes int, seed int64, population int, lodRadius float64, opts ...cityhunter.RunOption) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -331,6 +337,13 @@ func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhun
 	if err != nil {
 		return err
 	}
+	if population > 0 {
+		dcfg.FarField = &cityhunter.FarFieldConfig{
+			Pedestrians: population,
+			Radius:      lodRadius,
+			Stops:       world.City.RouteStops(),
+		}
+	}
 	res, err := world.RunDeployment(ctx, dcfg, kind, slot, time.Duration(minutes)*time.Minute, opts...)
 	if err != nil {
 		return err
@@ -342,6 +355,13 @@ func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhun
 		fmt.Fprintf(out, "%-24s %s, %s: %v\n", r.Venue, r.Attack, r.SlotLabel, r.Tally)
 	}
 	fmt.Fprintf(out, "pooled: %v\n", res.Tally)
+	if ff := res.FarField; ff != nil {
+		fmt.Fprintf(out, "far field: %d pedestrians, %d promoted (%d promotions, %d demotions, peak %d), %v\n",
+			ff.Pedestrians, ff.Promoted, ff.Promotions, ff.Demotions, ff.PeakPromoted, ff.Tally)
+		for i, s := range ff.Sites {
+			fmt.Fprintf(out, "  site %-18s %d promotions, %d hits\n", res.Sites[i].Venue+":", s.Promotions, s.Hits)
+		}
+	}
 	return nil
 }
 

@@ -185,6 +185,53 @@ func TestRunDeploymentFile(t *testing.T) {
 	}
 }
 
+// TestRunDeploymentPopulation drives the level-of-detail flags: -population
+// adds the far-field tier to a -deployment run and the output reports
+// promoted-client accounting; without a deployment the flag is refused.
+func TestRunDeploymentPopulation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "city.json")
+	plan := cityhunter.DeploymentConfig{
+		Sites: []cityhunter.Venue{cityhunter.CanteenVenue(), cityhunter.StationVenue()},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cityhunter.SaveDeployment(f, plan)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("save plan: %v", err)
+	}
+
+	invoke := func() string {
+		var out bytes.Buffer
+		err := run(context.Background(),
+			[]string{"-deployment", path, "-attack", "cityhunter", "-minutes", "20",
+				"-seed", "3", "-population", "2000", "-lod-radius", "80"}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	text := invoke()
+	for _, want := range []string{"far field: 2000 pedestrians", "promotions", "site canteen:", "site railway station:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, text)
+		}
+	}
+	if again := invoke(); again != text {
+		t.Errorf("same-seed far-field runs diverged:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-population", "100"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-deployment") {
+		t.Fatalf("err = %v, want -population-needs--deployment complaint", err)
+	}
+}
+
 // TestRunCampaignFileBadSpec: load errors surface with the offending run
 // named, before any simulation starts.
 func TestRunCampaignFileBadSpec(t *testing.T) {

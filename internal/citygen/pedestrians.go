@@ -1,0 +1,43 @@
+package citygen
+
+import (
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+)
+
+// RouteStops maps the city's hotspot venues onto far-field routing
+// destinations: each venue becomes one district whose routing weight is its
+// attractiveness — the same mass that drives photo density and PNL venue
+// memberships, now also driving where the statistical pedestrians go.
+// Districts inherit the venue extent, which is typically several times an
+// attacker's promotion radius; that ratio is what keeps most district
+// visitors in the cheap far-field tier.
+func (c *City) RouteStops() []mobility.RouteStop {
+	stops := make([]mobility.RouteStop, 0, len(c.Hotspots))
+	for _, h := range c.Hotspots {
+		stops = append(stops, mobility.RouteStop{
+			Pos:    h.Center,
+			Radius: h.Radius,
+			Weight: h.Attractiveness,
+		})
+	}
+	return stops
+}
+
+// CityScaleConfig returns the configuration for city-scale level-of-detail
+// runs: the Hong Kong-flavoured base densified to a dozen districts so a
+// deployment attacking three of them leaves the other nine as pure
+// far-field traffic. AP counts stay modest — the interesting load here is
+// pedestrians, not the database.
+func CityScaleConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Hotspots = append(cfg.Hotspots,
+		HotspotSpec{Name: "Ferry Pier", SSID: "PierLink Free", Center: geo.Pt(700, 3200), Radius: 260, APs: 25, Attractiveness: 9},
+		HotspotSpec{Name: "University Quarter", SSID: "CampusNet-Guest", Center: geo.Pt(2200, 6100), Radius: 400, APs: 45, Attractiveness: 13},
+		HotspotSpec{Name: "Night Market", SSID: "Market Free WiFi", Center: geo.Pt(6600, 5400), Radius: 300, APs: 20, Attractiveness: 11},
+		HotspotSpec{Name: "Harbour Promenade", SSID: "Harbour-WiFi", Center: geo.Pt(4400, 900), Radius: 450, APs: 30, Attractiveness: 12},
+		HotspotSpec{Name: "Exhibition Centre", SSID: "ExpoNet Free", Center: geo.Pt(7100, 1400), Radius: 320, APs: 35, Attractiveness: 8},
+		HotspotSpec{Name: "Stadium District", SSID: "Stadium Guest WiFi", Center: geo.Pt(1400, 1100), Radius: 380, APs: 28, Attractiveness: 7},
+	)
+	return cfg
+}

@@ -1,0 +1,142 @@
+package client
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/pnl"
+)
+
+func TestSuspendResumeRoundTripLossless(t *testing.T) {
+	fx := newFixture(t)
+	fx.resp.replySSIDs = []string{"Cafe Free WiFi"}
+	c := fx.newClient(t, Config{PNL: pnl.List{{SSID: "Cafe Free WiFi", Open: true}}})
+	fx.engine.Run(30 * time.Second)
+	if !c.Stats.Connected {
+		t.Fatal("client never connected; snapshot would be trivial")
+	}
+
+	snap, err := c.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if snap.Seq == 0 {
+		t.Error("snapshot lost the sequence counter")
+	}
+	if !snap.Stats.Connected || snap.Stats.Scans == 0 {
+		t.Errorf("snapshot stats incomplete: %+v", snap.Stats)
+	}
+	// The suspended object is dead: no further suspends, no frames.
+	if _, err := c.Suspend(); err == nil {
+		t.Error("second Suspend succeeded")
+	}
+	if fx.medium.Attached(c.Addr()) {
+		t.Error("suspended client still attached to the medium")
+	}
+
+	// An immediate Resume→Suspend round trip preserves the durable state
+	// bit-for-bit (the resumed client's first scan is still pending, so
+	// nothing has been consumed in between).
+	c2, err := Resume(fx.engine, fx.medium, fx.rng, snap)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	snap2, err := c2.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend after Resume: %v", err)
+	}
+	snap.Config.PreconnectedBSSID = ieee80211.MAC{} // cleared by design on resume
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Errorf("round trip lost state:\n first %+v\nsecond %+v", snap, snap2)
+	}
+}
+
+func TestResumedClientContinuesAtNewSite(t *testing.T) {
+	fx := newFixture(t)
+	fx.resp.replySSIDs = []string{"Cafe Free WiFi"}
+	c := fx.newClient(t, Config{PNL: pnl.List{{SSID: "Cafe Free WiFi", Open: true}}})
+	fx.engine.Run(30 * time.Second)
+	snap, err := c.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	scans, seq := snap.Stats.Scans, snap.Seq
+
+	// Resume at a second site after a gap: scanning restarts, the sequence
+	// counter continues rather than restarting, and the phone can connect
+	// again.
+	fx.engine.Run(10 * time.Minute)
+	c2, err := Resume(fx.engine, fx.medium, fx.rng, snap)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	c2.SetPos(geo.Pt(10, 0))
+	fx.engine.Run(11 * time.Minute)
+	if c2.Stats.Scans <= scans {
+		t.Errorf("resumed client never scanned: %d then %d", scans, c2.Stats.Scans)
+	}
+	if c2.seq <= seq {
+		t.Errorf("sequence counter restarted: %d then %d", seq, c2.seq)
+	}
+	if !c2.Stats.Connected {
+		t.Error("resumed client failed to reconnect at the new site")
+	}
+}
+
+func TestResumeIgnoresStaleAssociation(t *testing.T) {
+	fx := newFixture(t)
+	fx.resp.replySSIDs = []string{"Cafe Free WiFi"}
+	c := fx.newClient(t, Config{PNL: pnl.List{{SSID: "Cafe Free WiFi", Open: true}}})
+	fx.engine.Run(30 * time.Second)
+	if c.State() != StateConnected {
+		t.Fatalf("client in state %v, want connected", c.State())
+	}
+	snap, err := c.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	c2, err := Resume(fx.engine, fx.medium, fx.rng, snap)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	// The old association is gone: the phone resumes scanning, not connected
+	// to a peer that is out of range by construction.
+	if c2.State() != StateScanning {
+		t.Errorf("resumed client in state %v, want scanning", c2.State())
+	}
+}
+
+func TestSuspendBeforeStartFails(t *testing.T) {
+	fx := newFixture(t)
+	c, err := New(fx.engine, fx.medium, fx.rng, Config{
+		MAC: ieee80211.RandomMAC(fx.rng), ScanInterval: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Suspend(); err == nil {
+		t.Error("Suspend before Start succeeded")
+	}
+}
+
+func TestResumePreservesHostileSet(t *testing.T) {
+	fx := newFixture(t)
+	evil := ieee80211.MAC{0x0e, 1, 2, 3, 4, 5}
+	c := fx.newClient(t, Config{PNL: pnl.List{{SSID: "Home"}}})
+	c.hostile = map[ieee80211.MAC]bool{evil: true}
+	snap, err := c.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	c2, err := Resume(fx.engine, fx.medium, rand.New(rand.NewSource(9)), snap)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !c2.hostile[evil] {
+		t.Error("resumed client forgot an unmasked evil twin")
+	}
+}

@@ -386,6 +386,54 @@ func TestMultiSiteShape(t *testing.T) {
 	}
 }
 
+func TestCityScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousands of far-field pedestrians")
+	}
+	// ArrivalScale 0.05 shrinks the far-field crowd to 5k pedestrians; the
+	// 30-minute slot is long enough for cross-city walks to reach the
+	// attacked districts.
+	opts := Options{SlotDuration: 30 * time.Minute, ArrivalScale: 0.05}
+	res, err := CityScale(context.Background(), testWorld(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pedestrians != 5000 {
+		t.Errorf("pedestrians = %d, want 5000 at scale 0.05", res.Pedestrians)
+	}
+	if res.Districts < 12 {
+		t.Errorf("districts = %d, want the dozen-district city", res.Districts)
+	}
+	if len(res.SiteNames) != 3 || len(res.FarField.Sites) != 3 {
+		t.Fatalf("sites = %d names / %d accounted, want 3", len(res.SiteNames), len(res.FarField.Sites))
+	}
+	ff := res.FarField
+	if ff.Pedestrians != res.Pedestrians {
+		t.Errorf("far-field accounted %d pedestrians, result says %d", ff.Pedestrians, res.Pedestrians)
+	}
+	if ff.Promoted == 0 {
+		t.Error("no pedestrian ever promoted in a 30-minute city run")
+	}
+	if ff.Promotions < ff.Promoted || ff.PeakPromoted > ff.Promoted {
+		t.Errorf("inconsistent counters: promoted %d, promotions %d, peak %d",
+			ff.Promoted, ff.Promotions, ff.PeakPromoted)
+	}
+	sitePromos := 0
+	for _, s := range ff.Sites {
+		sitePromos += s.Promotions
+	}
+	if sitePromos != ff.Promotions {
+		t.Errorf("site promotions sum %d != total %d", sitePromos, ff.Promotions)
+	}
+	// The classic venue tier still runs under the far field.
+	if res.VenueTally.Total == 0 {
+		t.Error("venue crowds empty")
+	}
+	if !strings.Contains(res.String(), "City scale") {
+		t.Error("String lacks title")
+	}
+}
+
 func TestGridParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two grids")

@@ -100,6 +100,12 @@ func (g *HashGrid) Len() int {
 // allocating when dst has capacity. Cells are visited in row-major order;
 // ids within a cell come back in bucket order, so callers that need a
 // global order must impose their own (ids are ints — sort them).
+//
+// The scan spans ceil(radius/cellSize) rings of cells on each side of p's
+// cell, so radii larger than the cell size are handled exactly: the medium
+// queries at its radio range (one ring, by construction of its cell size),
+// while the level-of-detail promotion scheduler queries at promotion radii
+// many times the cell size and still sees every candidate.
 func (g *HashGrid) AppendNeighborhood(dst []int32, p Point, radius float64) []int32 {
 	if radius < 0 {
 		return dst

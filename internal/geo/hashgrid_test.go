@@ -118,3 +118,41 @@ func TestHashGridNeighborhoodDeterministicAndZeroAlloc(t *testing.T) {
 		t.Errorf("AppendNeighborhood with capacity allocates %.2f/op, want 0", avg)
 	}
 }
+
+// TestHashGridNeighborhoodRadiusLargerThanCell is the regression test for
+// query radii exceeding the cell size: promotion-boundary queries use radii
+// several times the broadcast cell, and every in-range item must still be
+// returned (a fixed 3×3 scan would miss items two or more rings out).
+func TestHashGridNeighborhoodRadiusLargerThanCell(t *testing.T) {
+	const cell = 10.0
+	g, err := NewHashGrid(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lattice spanning many cells in every direction, including negative
+	// coordinates.
+	var pts []Point
+	id := int32(0)
+	for x := -80.0; x <= 80; x += 8 {
+		for y := -80.0; y <= 80; y += 8 {
+			p := Pt(x, y)
+			g.Insert(id, p)
+			pts = append(pts, p)
+			id++
+		}
+	}
+	for _, radius := range []float64{cell * 3.5, cell * 5, cell * 7.2} {
+		center := Pt(3, -4)
+		got := g.AppendNeighborhood(nil, center, radius)
+		present := make(map[int32]bool, len(got))
+		for _, id := range got {
+			present[id] = true
+		}
+		for i, p := range pts {
+			if center.Dist(p) <= radius && !present[int32(i)] {
+				t.Fatalf("radius %v: in-range id %d at %v missing (got %d ids)",
+					radius, i, p, len(got))
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package geo
+
+import "math"
+
+// SegmentDiskCrossings intersects the segment a→b with the closed disk of
+// radius r around c, returning the entry and exit positions as fractions of
+// the segment (0 = a, 1 = b), clamped to [0, 1]. ok is false when the
+// segment never touches the disk. A degenerate segment (a == b) reports
+// [0, 1] when the point lies inside the disk.
+//
+// The level-of-detail promotion scheduler uses this to turn a pedestrian's
+// piecewise-linear route into promote/demote times around an attacker site:
+// entry is when the phone must become a full client, exit when it may fall
+// back to the statistical tier.
+func SegmentDiskCrossings(a, b, c Point, r float64) (entry, exit float64, ok bool) {
+	if r < 0 {
+		return 0, 0, false
+	}
+	d := b.Sub(a)
+	f := a.Sub(c)
+	dd := d.X*d.X + d.Y*d.Y
+	if dd == 0 {
+		if f.X*f.X+f.Y*f.Y <= r*r {
+			return 0, 1, true
+		}
+		return 0, 0, false
+	}
+	// Solve |f + t·d|² = r² for t.
+	bq := f.X*d.X + f.Y*d.Y
+	cq := f.X*f.X + f.Y*f.Y - r*r
+	disc := bq*bq - dd*cq
+	if disc < 0 {
+		return 0, 0, false
+	}
+	sq := math.Sqrt(disc)
+	t0 := (-bq - sq) / dd
+	t1 := (-bq + sq) / dd
+	if t1 < 0 || t0 > 1 {
+		return 0, 0, false
+	}
+	return math.Max(t0, 0), math.Min(t1, 1), true
+}

@@ -1,0 +1,75 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentDiskCrossings(t *testing.T) {
+	tests := []struct {
+		name        string
+		a, b, c     Point
+		r           float64
+		entry, exit float64
+		ok          bool
+	}{
+		{name: "through center", a: Pt(-10, 0), b: Pt(10, 0), c: Pt(0, 0), r: 5,
+			entry: 0.25, exit: 0.75, ok: true},
+		{name: "miss", a: Pt(-10, 8), b: Pt(10, 8), c: Pt(0, 0), r: 5, ok: false},
+		{name: "tangent", a: Pt(-10, 5), b: Pt(10, 5), c: Pt(0, 0), r: 5,
+			entry: 0.5, exit: 0.5, ok: true},
+		{name: "starts inside", a: Pt(0, 0), b: Pt(20, 0), c: Pt(0, 0), r: 5,
+			entry: 0, exit: 0.25, ok: true},
+		{name: "ends inside", a: Pt(-20, 0), b: Pt(0, 0), c: Pt(0, 0), r: 5,
+			entry: 0.75, exit: 1, ok: true},
+		{name: "entirely inside", a: Pt(-1, 0), b: Pt(1, 0), c: Pt(0, 0), r: 5,
+			entry: 0, exit: 1, ok: true},
+		{name: "disk behind segment", a: Pt(10, 0), b: Pt(30, 0), c: Pt(0, 0), r: 5, ok: false},
+		{name: "disk past segment", a: Pt(-30, 0), b: Pt(-10, 0), c: Pt(0, 0), r: 5, ok: false},
+		{name: "degenerate inside", a: Pt(1, 1), b: Pt(1, 1), c: Pt(0, 0), r: 5,
+			entry: 0, exit: 1, ok: true},
+		{name: "degenerate outside", a: Pt(9, 9), b: Pt(9, 9), c: Pt(0, 0), r: 5, ok: false},
+		{name: "negative radius", a: Pt(-10, 0), b: Pt(10, 0), c: Pt(0, 0), r: -1, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			entry, exit, ok := SegmentDiskCrossings(tt.a, tt.b, tt.c, tt.r)
+			if ok != tt.ok {
+				t.Fatalf("ok = %v, want %v", ok, tt.ok)
+			}
+			if !ok {
+				return
+			}
+			if math.Abs(entry-tt.entry) > 1e-9 || math.Abs(exit-tt.exit) > 1e-9 {
+				t.Errorf("crossings = [%v, %v], want [%v, %v]", entry, exit, tt.entry, tt.exit)
+			}
+		})
+	}
+}
+
+// TestSegmentDiskCrossingsAgainstSampling cross-checks the analytic
+// crossings against dense sampling of random segments.
+func TestSegmentDiskCrossingsAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		b := Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		c := Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		r := rng.Float64() * 40
+		entry, exit, ok := SegmentDiskCrossings(a, b, c, r)
+		const steps = 400
+		for s := 0; s <= steps; s++ {
+			f := float64(s) / steps
+			p := a.Add(b.Sub(a).Scale(f))
+			inside := p.Dist(c) <= r
+			predicted := ok && f >= entry && f <= exit
+			// Allow disagreement within a hair of the boundary.
+			if inside != predicted && math.Abs(p.Dist(c)-r) > 1e-6*(1+r) &&
+				(!ok || (math.Abs(f-entry) > 1.0/steps && math.Abs(f-exit) > 1.0/steps)) {
+				t.Fatalf("seg %v->%v disk(%v,%v): f=%v inside=%v predicted=%v (entry=%v exit=%v ok=%v)",
+					a, b, c, r, f, inside, predicted, entry, exit, ok)
+			}
+		}
+	}
+}

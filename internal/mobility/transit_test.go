@@ -52,4 +52,68 @@ func TestTransitPathDegenerate(t *testing.T) {
 	if p.Duration < time.Second {
 		t.Errorf("zero-length transit duration %v, want >= 1s", p.Duration)
 	}
+	// A zero-leg transit still interpolates sanely: every offset maps to the
+	// single point.
+	for _, off := range []time.Duration{-time.Second, 0, p.Duration / 2, p.Duration, time.Hour} {
+		if got := p.At(off); got != geo.Pt(5, 5) {
+			t.Errorf("degenerate path At(%v) = %v, want (5,5)", off, got)
+		}
+	}
+}
+
+func TestTransitPathAtClamping(t *testing.T) {
+	p := Path{From: geo.Pt(0, 0), To: geo.Pt(120, 0), Duration: time.Minute}
+	cases := []struct {
+		off  time.Duration
+		want geo.Point
+	}{
+		{-time.Minute, geo.Pt(0, 0)},      // before departure clamps to From
+		{0, geo.Pt(0, 0)},                 // departure instant
+		{30 * time.Second, geo.Pt(60, 0)}, // linear midpoint
+		{time.Minute, geo.Pt(120, 0)},     // arrival instant
+		{time.Hour, geo.Pt(120, 0)},       // long past arrival clamps to To
+	}
+	for _, c := range cases {
+		if got := p.At(c.off); got.Dist(c.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", c.off, got, c.want)
+		}
+	}
+	// A zero-duration path never divides by zero and reports the endpoint.
+	z := Path{From: geo.Pt(1, 1), To: geo.Pt(2, 2), Duration: 0}
+	if got := z.At(0); got != geo.Pt(2, 2) {
+		t.Errorf("zero-duration path At(0) = %v, want To", got)
+	}
+}
+
+func TestTransitPathFixedSpeed(t *testing.T) {
+	// Degenerate speed range (min == max): every draw must use exactly that
+	// speed — this is how tests pin transit timing deterministically.
+	rng := rand.New(rand.NewSource(2))
+	m := TransitModel{SpeedMin: 1.5, SpeedMax: 1.5}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fixed-speed model invalid: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		p := m.Path(rng, geo.Pt(0, 0), geo.Pt(150, 0))
+		want := 100 * time.Second
+		if diff := p.Duration - want; diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("fixed-speed duration %v, want %v", p.Duration, want)
+		}
+	}
+}
+
+func TestTransitPathMonotone(t *testing.T) {
+	// Interpolation must advance monotonically toward the destination, so a
+	// promotion scheduler sampling positions along a leg never sees the
+	// pedestrian move backward.
+	rng := rand.New(rand.NewSource(4))
+	p := DefaultTransit().Path(rng, geo.Pt(0, 0), geo.Pt(500, 250))
+	prev := -1.0
+	for off := time.Duration(0); off <= p.Duration; off += p.Duration / 50 {
+		d := p.At(off).Dist(p.From)
+		if d < prev-1e-9 {
+			t.Fatalf("distance from origin shrank at offset %v: %v -> %v", off, prev, d)
+		}
+		prev = d
+	}
 }

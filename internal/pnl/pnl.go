@@ -185,12 +185,16 @@ type Model struct {
 	// privateUniverse is the pool of secured SSIDs homes draw from.
 	privateUniverse []string
 
-	// localPools caches the venue-local pools by quantised position.
+	// localPools caches the venue-local pools by exact query position, so
+	// a cached pool is a pure function of its key: results never depend on
+	// which caller touched a neighbourhood first (venue positions sit
+	// close enough — station and passage are 60 m apart — that a coarser
+	// key would let one workload poison another's pool on a shared model).
 	// The mutex makes the cache safe for concurrent experiment runs
 	// sharing one model; everything else in the model is read-only after
 	// construction.
 	localPoolMu sync.Mutex
-	localPools  map[[2]int][]string
+	localPools  map[geo.Point][]string
 }
 
 // NewModel derives the adoption model from the city database and heat map.
@@ -211,7 +215,7 @@ func NewModel(db *wigle.DB, hm *heatmap.Map, cfg Config) (*Model, error) {
 		cfg:        cfg,
 		db:         db,
 		carriers:   cfg.Carriers,
-		localPools: make(map[[2]int][]string),
+		localPools: make(map[geo.Point][]string),
 	}
 	if m.carriers == nil {
 		m.carriers = DefaultCarriers()
@@ -294,10 +298,11 @@ func (m *Model) samplePublic(rng *rand.Rand) string {
 	return m.publicSSIDs[lo]
 }
 
-// localPool returns the venue-local open SSIDs for a position, cached on a
-// 250 m grid.
+// localPool returns the venue-local open SSIDs for a position, cached per
+// exact position (callers query at canonical venue/site positions, so the
+// cache stays small).
 func (m *Model) localPool(at geo.Point) []string {
-	key := [2]int{int(at.X / 250), int(at.Y / 250)}
+	key := at
 	m.localPoolMu.Lock()
 	pool, ok := m.localPools[key]
 	m.localPoolMu.Unlock()

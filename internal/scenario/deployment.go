@@ -71,6 +71,11 @@ type DeploymentConfig struct {
 	// Transit models the inter-site walk; the zero value selects
 	// mobility.DefaultTransit.
 	Transit mobility.TransitModel
+	// FarField, when non-nil, adds the city-scale level-of-detail
+	// population: cheap statistical pedestrians promoted to full clients
+	// only inside the promotion boundary around each site. nil keeps the
+	// classic venue-scale behaviour byte for byte.
+	FarField *FarFieldConfig
 }
 
 // DeploymentResult is everything a deployment run produces.
@@ -91,6 +96,10 @@ type DeploymentResult struct {
 	// Duration is the simulated virtual time (shorter than requested
 	// only when the run was cancelled).
 	Duration time.Duration
+	// FarField is the level-of-detail tier's accounting (nil unless the
+	// deployment configured one). It is kept out of Outcomes/Tally so the
+	// knowledge-plane comparisons those feed stay undisturbed.
+	FarField *FarFieldResult
 	// Metrics, Journal and Spans are the deployment-wide observability
 	// attachments (one runtime serves every site).
 	Metrics obs.Snapshot
@@ -244,6 +253,22 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 	}
 	d.pops = pops
 
+	// Level-of-detail layer: the far-field tier spawns after the venue
+	// populations so every classic draw from env.rng keeps its order, and
+	// draws only from its own spawn-derived streams thereafter.
+	var tiers *tierManager
+	if dcfg.FarField != nil {
+		ff, err := dcfg.FarField.normalized(dcfg.Sites, radioRange, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tiers, err = newTierManager(env, ff, sites)
+		if err != nil {
+			return nil, err
+		}
+		tiers.spawn(duration)
+	}
+
 	_, runErr := env.engine.RunContext(ctx, duration)
 
 	// Collection layer.
@@ -263,6 +288,16 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 		dres.Outcomes = append(dres.Outcomes, res.Outcomes...)
 	}
 	dres.Tally = stats.NewTally(dres.Outcomes)
+	if tiers != nil {
+		dres.FarField = tiers.result(env.engine.Now(), engines)
+		if env.rt != nil && env.rt.Metrics != nil {
+			ff := dres.FarField
+			env.rt.Metrics.Counter("scenario_farfield_pedestrians").Add(int64(ff.Pedestrians))
+			env.rt.Metrics.Counter("scenario_farfield_promotions").Add(int64(ff.Promotions))
+			env.rt.Metrics.Counter("scenario_farfield_demotions").Add(int64(ff.Demotions))
+			env.rt.Metrics.Gauge("scenario_farfield_peak_promoted").Set(float64(ff.PeakPromoted))
+		}
+	}
 	if env.rt != nil {
 		for i, res := range dres.Sites {
 			emitRunTelemetry(env.rt, env, pops[i], res)

@@ -1,0 +1,469 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cityhunter/internal/client"
+	"cityhunter/internal/core"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/mobility"
+	"cityhunter/internal/stats"
+)
+
+// FarFieldConfig enables the city-scale level-of-detail population: a
+// statistical far-field tier whose pedestrians carry only arrival, route
+// and RNG-stream state — no per-frame simulation, no medium registration —
+// until their itinerary crosses a promotion boundary around an attacker
+// site, where they become full client state machines and demote again on
+// exit. A nil FarFieldConfig on the deployment keeps the classic
+// venue-scale behaviour bit for bit.
+type FarFieldConfig struct {
+	// Pedestrians is the far-field population size (100k–1M is the design
+	// envelope; the per-pedestrian cost away from every site is a route
+	// sample and a handful of analytic intersections).
+	Pedestrians int
+	// Radius is the promotion boundary around each site; a pedestrian
+	// whose route enters it becomes a full client. 0 selects 1.25× the
+	// largest site radio range, so phones exist slightly before the
+	// attacker can hear them.
+	Radius float64
+	// Stops are the city destinations pedestrians route between, weighted
+	// by attractiveness (citygen venues map onto these 1:1). Empty derives
+	// one district per site: centre at the site, extent 4× its radio
+	// range — the district being much larger than Radius is what keeps
+	// most of its visitors in the cheap tier.
+	Stops []mobility.RouteStop
+	// Route is the itinerary model; the zero value selects
+	// mobility.DefaultRoute.
+	Route mobility.RouteModel
+	// Entry is the area pedestrians enter the city from (homes, transit
+	// edges). A zero rect covers the stops' bounding box padded by 1 km.
+	Entry geo.Rect
+	// Seed feeds the dedicated spawn stream that derives every
+	// pedestrian's private RNG stream. 0 selects Base.Seed+9. Keeping this
+	// stream separate from the run RNG is what leaves venue-scale goldens
+	// byte-identical when far field is enabled alongside them.
+	Seed int64
+}
+
+// normalized validates the config and fills the defaults described on the
+// fields.
+func (f FarFieldConfig) normalized(sites []Venue, maxRange float64, baseSeed int64) (FarFieldConfig, error) {
+	if f.Pedestrians < 0 {
+		return f, fmt.Errorf("scenario: negative far-field population %d", f.Pedestrians)
+	}
+	if f.Radius < 0 {
+		return f, fmt.Errorf("scenario: negative promotion radius %v", f.Radius)
+	}
+	if f.Radius == 0 {
+		f.Radius = 1.25 * maxRange
+	}
+	if len(f.Stops) == 0 {
+		for _, v := range sites {
+			r := 4 * v.RadioRange
+			if r < 250 {
+				r = 250
+			}
+			f.Stops = append(f.Stops, mobility.RouteStop{Pos: v.Position, Radius: r, Weight: 1})
+		}
+	}
+	for i, s := range f.Stops {
+		if s.Radius < 0 {
+			return f, fmt.Errorf("scenario: far-field stop %d has negative radius %v", i, s.Radius)
+		}
+	}
+	if f.Route == (mobility.RouteModel{}) {
+		f.Route = mobility.DefaultRoute()
+	}
+	if err := f.Route.Validate(); err != nil {
+		return f, fmt.Errorf("scenario: %w", err)
+	}
+	if f.Entry.Width() <= 0 || f.Entry.Height() <= 0 {
+		min, max := f.Stops[0].Pos, f.Stops[0].Pos
+		for _, s := range f.Stops {
+			if s.Pos.X < min.X {
+				min.X = s.Pos.X
+			}
+			if s.Pos.Y < min.Y {
+				min.Y = s.Pos.Y
+			}
+			if s.Pos.X > max.X {
+				max.X = s.Pos.X
+			}
+			if s.Pos.Y > max.Y {
+				max.Y = s.Pos.Y
+			}
+		}
+		f.Entry = geo.NewRect(min.Add(geo.Pt(-1000, -1000)), max.Add(geo.Pt(1000, 1000)))
+	}
+	if f.Seed == 0 {
+		f.Seed = baseSeed + 9
+	}
+	return f, nil
+}
+
+// FarFieldSite is the per-site accounting of the far-field tier.
+type FarFieldSite struct {
+	// Name echoes the site's venue name.
+	Name string
+	// Promotions counts promotion events whose boundary belonged to this
+	// site (a window merged across overlapping boundaries credits the
+	// site that opened it).
+	Promotions int
+	// Hits counts ever-promoted pedestrians whose phone associated to
+	// this site's rogue AP.
+	Hits int
+}
+
+// FarFieldResult is everything the far-field tier produced in one run. It
+// is reported separately from the venue populations' Outcomes/Tally so the
+// knowledge-plane comparisons those feed stay undisturbed.
+type FarFieldResult struct {
+	// Pedestrians is the far-field population size.
+	Pedestrians int
+	// Promoted counts distinct pedestrians that were ever promoted.
+	Promoted int
+	// Promotions and Demotions count tier transitions (a pedestrian
+	// crossing three boundaries counts three times).
+	Promotions int
+	Demotions  int
+	// PeakPromoted is the largest number of simultaneously promoted
+	// clients — the actual full-fidelity load the run carried.
+	PeakPromoted int
+	// Outcomes holds one entry per ever-promoted pedestrian (far-field
+	// pedestrians that never met a boundary have, by construction, nothing
+	// to report).
+	Outcomes []stats.ClientOutcome
+	// Tally aggregates Outcomes.
+	Tally stats.Tally
+	// Sites is the per-site accounting, in deployment site order.
+	Sites []FarFieldSite
+}
+
+// promoWindow is one scheduled stay inside a promotion boundary, in
+// absolute virtual time. site is the boundary's owner, for accounting.
+type promoWindow struct {
+	start, end time.Duration
+	site       int
+}
+
+// pedestrian is one far-field inhabitant. Until promoted it is pure data:
+// an itinerary, a private RNG stream seeded at spawn, and the precomputed
+// promotion windows. The stream makes every draw the pedestrian will ever
+// cause — PNL, behaviour flags, scan jitter — independent of when (and
+// whether) other pedestrians promote.
+type pedestrian struct {
+	id    int
+	mac   ieee80211.MAC
+	rng   *rand.Rand
+	route mobility.Route
+
+	cur  *client.Client   // live client while promoted
+	snap *client.Snapshot // durable state between promotions
+	// epoch guards movement tickers: each promote/demote bumps it, so a
+	// ticker scheduled for an earlier leg of churn becomes a no-op instead
+	// of dragging a stale position along.
+	epoch int
+
+	direct     bool
+	firstPromo time.Duration
+	lastDemote time.Duration
+	promotions int
+}
+
+// farFieldMAC derives pedestrian ID MACs from a locally administered space
+// disjoint from the venue populations' allocator (second byte 0x10 vs
+// 0x00), so city-wide uniqueness survives mixing both tiers.
+func farFieldMAC(id int) ieee80211.MAC {
+	n := uint32(id + 1)
+	return ieee80211.MAC{0x02, 0x10, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// tierManager owns the far-field tier: it spawns the statistical
+// population, turns routes into promotion windows via the site grid, and
+// performs the promote/demote transitions during the run.
+type tierManager struct {
+	env   *runEnv
+	cfg   FarFieldConfig
+	sites []*site
+
+	grid    *geo.HashGrid
+	sitePos []geo.Point
+
+	peds []*pedestrian
+
+	promotedNow  int
+	peakPromoted int
+	promotions   int
+	demotions    int
+	siteStats    []FarFieldSite
+}
+
+func newTierManager(env *runEnv, cfg FarFieldConfig, sites []*site) (*tierManager, error) {
+	grid, err := geo.NewHashGrid(cfg.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: far-field grid: %w", err)
+	}
+	tm := &tierManager{env: env, cfg: cfg, sites: sites, grid: grid}
+	for i, st := range sites {
+		tm.grid.Insert(int32(i), st.venue.Position)
+		tm.sitePos = append(tm.sitePos, st.venue.Position)
+		tm.siteStats = append(tm.siteStats, FarFieldSite{Name: st.venue.Name})
+	}
+	return tm, nil
+}
+
+// spawn creates the far-field population for one run of the given horizon
+// (engine time runs 0..horizon regardless of slot; the slot only selects
+// profiles). All scheduling happens here, before the engine runs, in
+// pedestrian-ID order: arrivals, itineraries and promotion windows are
+// fully determined by the spawn seed alone. The run RNG is never touched.
+func (tm *tierManager) spawn(horizon time.Duration) {
+	spawn := rand.New(rand.NewSource(tm.cfg.Seed))
+	for id := 0; id < tm.cfg.Pedestrians; id++ {
+		seed := spawn.Int63()
+		p := &pedestrian{id: id, mac: farFieldMAC(id), rng: rand.New(rand.NewSource(seed))}
+		p.direct = p.rng.Float64() < tm.env.cfg.DirectProberFraction
+		arrival := time.Duration(p.rng.Int63n(int64(horizon)))
+		entry := geo.Pt(
+			tm.cfg.Entry.Min.X+p.rng.Float64()*tm.cfg.Entry.Width(),
+			tm.cfg.Entry.Min.Y+p.rng.Float64()*tm.cfg.Entry.Height(),
+		)
+		p.route = tm.cfg.Route.Sample(p.rng, arrival, entry, tm.cfg.Stops)
+		tm.peds = append(tm.peds, p)
+		for _, w := range tm.windows(p.route) {
+			w := w
+			tm.env.engine.At(w.start, func() { tm.promote(p, w) })
+			tm.env.engine.At(w.end, func() { tm.demote(p) })
+		}
+	}
+}
+
+// windows computes the pedestrian's stays inside promotion boundaries,
+// merged and in time order: per transit leg an analytic segment–disk
+// intersection against every candidate site from the grid, per dwell leg a
+// point-in-disk test. The grid query radius — half the leg length plus the
+// promotion radius — routinely exceeds the grid's cell size, which is why
+// AppendNeighborhood scans as many rings as the radius needs.
+func (tm *tierManager) windows(route mobility.Route) []promoWindow {
+	var raw []promoWindow
+	var cand []int32
+	r := tm.cfg.Radius
+	for _, leg := range route.Legs {
+		switch leg.Kind {
+		case mobility.LegTransit:
+			mid := leg.From.Add(leg.To.Sub(leg.From).Scale(0.5))
+			cand = tm.grid.AppendNeighborhood(cand[:0], mid, leg.From.Dist(leg.To)/2+r)
+			sortSiteIDs(cand)
+			for _, si := range cand {
+				t0, t1, ok := geo.SegmentDiskCrossings(leg.From, leg.To, tm.sitePos[si], r)
+				if !ok {
+					continue
+				}
+				span := leg.End - leg.Start
+				raw = append(raw, promoWindow{
+					start: leg.Start + time.Duration(t0*float64(span)),
+					end:   leg.Start + time.Duration(t1*float64(span)),
+					site:  int(si),
+				})
+			}
+		case mobility.LegDwell:
+			cand = tm.grid.AppendNeighborhood(cand[:0], leg.To, r)
+			sortSiteIDs(cand)
+			for _, si := range cand {
+				if leg.To.Dist(tm.sitePos[si]) <= r {
+					raw = append(raw, promoWindow{start: leg.Start, end: leg.End, site: int(si)})
+					break
+				}
+			}
+		}
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i].start < raw[j].start })
+	merged := raw[:1]
+	for _, w := range raw[1:] {
+		last := &merged[len(merged)-1]
+		if w.start <= last.end {
+			if w.end > last.end {
+				last.end = w.end
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	// Zero-length windows (tangent grazes, adjacent-leg seams) promote and
+	// demote at the same instant; drop them.
+	out := merged[:0]
+	for _, w := range merged {
+		if w.end > w.start {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// sortSiteIDs orders grid candidates so window construction is independent
+// of grid bucket order.
+func sortSiteIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// promote raises a pedestrian to full client fidelity. The first promotion
+// materialises the phone — PNL, behaviour flags and scan jitter all drawn
+// from the pedestrian's private stream — and later ones resume the
+// suspended snapshot, so a phone keeps its MAC, stats, sequence counter
+// and unmasked-twin memory across boundaries.
+func (tm *tierManager) promote(p *pedestrian, w promoWindow) {
+	if p.cur != nil {
+		return
+	}
+	now := tm.env.engine.Now()
+	pos := p.route.At(now)
+	var c *client.Client
+	var err error
+	if p.snap == nil {
+		cfg := tm.env.cfg
+		// The PNL is drawn at the owning site's venue position — the same
+		// canonical positions the venue populations use — not the exact
+		// boundary-crossing point. pnl.Model caches venue-local pools on a
+		// coarse grid keyed by quantised position but computed from the
+		// query point, so querying at arbitrary city coordinates would
+		// poison cells that classic runs on the same shared World read
+		// later, perturbing their results.
+		list := tm.env.model.NewList(p.rng, tm.sites[w.site].venue.Position)
+		if p.direct {
+			list = tm.env.model.AugmentUnsafe(p.rng, list)
+		}
+		ccfg := client.Config{
+			MAC:           p.mac,
+			PNL:           list,
+			DirectProber:  p.direct,
+			ScanInterval:  time.Duration(float64(cfg.ScanInterval) * (0.7 + 0.6*p.rng.Float64())),
+			CanaryProbing: cfg.CanaryFraction > 0 && p.rng.Float64() < cfg.CanaryFraction,
+			RandomizeMAC:  cfg.RandomizeMACFraction > 0 && p.rng.Float64() < cfg.RandomizeMACFraction,
+			Obs:           tm.env.rt,
+		}
+		c, err = client.New(tm.env.engine, tm.env.medium, p.rng, ccfg)
+		if err == nil {
+			c.SetPos(pos)
+			err = c.Start()
+		}
+		if err == nil {
+			p.firstPromo = now
+		}
+	} else {
+		c, err = client.Resume(tm.env.engine, tm.env.medium, p.rng, *p.snap)
+		if err == nil {
+			c.SetPos(pos)
+		}
+	}
+	if err != nil {
+		// Only reachable through programming errors; drop the promotion
+		// rather than corrupt the run.
+		return
+	}
+	p.cur = c
+	p.snap = nil
+	p.epoch++
+	p.promotions++
+	tm.promotions++
+	tm.siteStats[w.site].Promotions++
+	tm.promotedNow++
+	if tm.promotedNow > tm.peakPromoted {
+		tm.peakPromoted = tm.promotedNow
+	}
+	tm.driveMovement(p)
+}
+
+// demote suspends a promoted client back to the statistical tier.
+func (tm *tierManager) demote(p *pedestrian) {
+	if p.cur == nil {
+		return
+	}
+	p.epoch++
+	snap, err := p.cur.Suspend()
+	p.cur = nil
+	if err == nil {
+		p.snap = &snap
+	}
+	p.lastDemote = tm.env.engine.Now()
+	tm.demotions++
+	tm.promotedNow--
+}
+
+// driveMovement walks a promoted client along its route, 2 s steps like
+// the venue walkers. The ticker dies on the next epoch bump (demotion, or
+// re-promotion churn).
+func (tm *tierManager) driveMovement(p *pedestrian) {
+	const step = 2 * time.Second
+	epoch := p.epoch
+	var tick func()
+	tick = func() {
+		if p.epoch != epoch || p.cur == nil {
+			return
+		}
+		p.cur.SetPos(p.route.At(tm.env.engine.Now()))
+		tm.env.engine.Schedule(step, tick)
+	}
+	tm.env.engine.Schedule(step, tick)
+}
+
+// result assembles the far-field accounting after the run. Clients still
+// promoted at the horizon are read live; everyone else from their last
+// snapshot. siteByMAC maps attacker MACs to site indices for per-site hit
+// counts.
+func (tm *tierManager) result(now time.Duration, engines []*core.Engine) *FarFieldResult {
+	res := &FarFieldResult{
+		Pedestrians:  len(tm.peds),
+		Promotions:   tm.promotions,
+		Demotions:    tm.demotions,
+		PeakPromoted: tm.peakPromoted,
+		Sites:        append([]FarFieldSite(nil), tm.siteStats...),
+	}
+	siteByMAC := make(map[ieee80211.MAC]int, len(tm.sites))
+	for i, st := range tm.sites {
+		siteByMAC[st.id.attackerMAC] = i
+	}
+	attackers := attackerSet(tm.sites)
+	for _, p := range tm.peds {
+		var st client.Stats
+		var mac ieee80211.MAC
+		switch {
+		case p.cur != nil:
+			st = p.cur.Stats
+			mac = p.cur.Addr()
+			p.lastDemote = now
+		case p.snap != nil:
+			st = p.snap.Stats
+			mac = p.snap.Config.MAC
+		default:
+			continue // never promoted: nothing on air, nothing to report
+		}
+		res.Promoted++
+		o := stats.ClientOutcome{
+			Arrived:      p.firstPromo,
+			Departed:     p.lastDemote,
+			DirectProber: p.direct,
+			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
+			Connected:    st.Connected && attackers[st.ConnectedTo],
+			ConnectedAt:  st.ConnectedAt,
+		}
+		for _, eng := range engines {
+			o.SSIDsSent += eng.SentCount(mac)
+		}
+		if o.Connected {
+			if si, ok := siteByMAC[st.ConnectedTo]; ok {
+				res.Sites[si].Hits++
+			}
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	res.Tally = stats.NewTally(res.Outcomes)
+	return res
+}
