@@ -238,6 +238,25 @@ func BenchmarkCanteenRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCanteenRunMonitored is BenchmarkCanteenRun with a live telemetry
+// publisher attached (an in-process monitor server, no HTTP): the
+// side-by-side pair quantifies the publisher overhead. With no publisher
+// the feed is never constructed, so an unmonitored run pays nothing.
+func BenchmarkCanteenRunMonitored(b *testing.B) {
+	w := benchWorld(b)
+	mon := cityhunter.NewMonitorServer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+			cityhunter.LunchSlot, 10*time.Minute,
+			cityhunter.WithRunSeed(int64(i+1)),
+			cityhunter.WithMonitorServer(mon))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCityScale measures the level-of-detail tier: a dozen-district
 // city with a 10k-pedestrian far-field crowd, three attacked districts, and
 // promotion to full fidelity only inside the radio-range boundaries. The

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"cityhunter/internal/campaign"
@@ -38,6 +39,7 @@ import (
 	"cityhunter/internal/heatmap"
 	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
+	"cityhunter/internal/obs/monitor"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/scenario"
 	"cityhunter/internal/stats"
@@ -110,6 +112,13 @@ type (
 	FlightRecorder  = obs.Journal
 	JournalEvent    = obs.Event
 	PerfettoTrace   = obs.Trace
+
+	// Live monitoring: the streaming telemetry sink runs publish into, and
+	// the HTTP monitor server that implements it.
+	TelemetryPublisher = obs.Publisher
+	TelemetryRun       = obs.RunPublisher
+	TelemetryRunInfo   = obs.RunInfo
+	MonitorServer      = monitor.Server
 )
 
 // Attack strategies.
@@ -472,6 +481,73 @@ func WithFlightRecorder(capacity int) RunOption {
 // ui.perfetto.dev.
 func WithPerfettoTrace() RunOption {
 	return runOptionFunc(func(o *runOptions) { o.cfg.SpanTrace = true })
+}
+
+// NewMonitorServer builds an unstarted monitor server. Use it directly as
+// a TelemetryPublisher (via WithMonitorServer) for in-process inspection,
+// or call its Start method to expose /metrics, /runs, /events and
+// /debug/pprof over HTTP.
+func NewMonitorServer() *MonitorServer { return monitor.New() }
+
+// WithPublisher streams run telemetry — periodic metric snapshots plus
+// lifecycle events — into an external sink. Publishing is read-only: the
+// snapshot tick consumes no randomness and leaves results byte-identical.
+func WithPublisher(p TelemetryPublisher) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Publisher = p })
+}
+
+// WithPublishEvery sets the virtual-time cadence between published metric
+// snapshots (default scenario.DefaultPublishEvery, 5s of simulated time).
+func WithPublishEvery(d time.Duration) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.PublishEvery = d })
+}
+
+// WithRunLabel names the run on the monitor; defaults to a
+// "<venue>/<attack>/slot<N>" summary when empty.
+func WithRunLabel(label string) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.RunLabel = label })
+}
+
+// WithMonitorServer publishes the run into an existing monitor server.
+func WithMonitorServer(s *MonitorServer) RunOption { return WithPublisher(s) }
+
+// sharedMonitors holds one started monitor server per listen address so
+// repeated WithMonitor calls — and concurrent runs — share a single
+// listener instead of fighting over the port.
+var (
+	sharedMonitorsMu sync.Mutex
+	sharedMonitors   = map[string]*MonitorServer{}
+)
+
+// SharedMonitor returns the process-wide monitor server listening on addr,
+// starting one on first use. The second return is the bound address, which
+// differs from addr when addr asks for an ephemeral port (":0").
+func SharedMonitor(addr string) (*MonitorServer, string, error) {
+	sharedMonitorsMu.Lock()
+	defer sharedMonitorsMu.Unlock()
+	if s, ok := sharedMonitors[addr]; ok {
+		return s, s.Addr(), nil
+	}
+	s := monitor.New()
+	bound, err := s.Start(addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("monitor: %w", err)
+	}
+	sharedMonitors[addr] = s
+	return s, bound, nil
+}
+
+// WithMonitor starts (once per address, process-wide) an HTTP monitor
+// server on addr and publishes the run into it. The server stays up after
+// the run finishes so dashboards can keep scraping; it serves Prometheus
+// exposition on /metrics, run JSON on /runs, live events on /events (SSE)
+// and profiling under /debug/pprof.
+func WithMonitor(addr string) (RunOption, error) {
+	s, _, err := SharedMonitor(addr)
+	if err != nil {
+		return nil, err
+	}
+	return WithMonitorServer(s), nil
 }
 
 // baseRunConfig is the shared per-run configuration every entry point —

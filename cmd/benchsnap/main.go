@@ -54,6 +54,7 @@ type tier struct {
 
 var tiers = []tier{
 	{pkg: ".", bench: "^BenchmarkCanteenRun$", benchtime: "5x"},
+	{pkg: ".", bench: "^BenchmarkCanteenRunMonitored$", benchtime: "5x"},
 	{pkg: ".", bench: "^BenchmarkCityScale$", benchtime: "3x"},
 	{pkg: "./internal/campaign", bench: "^BenchmarkCampaignGrid$", benchtime: "2x"},
 	{pkg: "./internal/core", bench: "^BenchmarkBroadcastReply", benchtime: "200000x"},
@@ -124,18 +125,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *check {
+		how := "explicit"
 		if *snapshotPath == "" {
 			*snapshotPath, err = discoverSnapshot(".")
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "checking against %s (auto-discovered)\n", *snapshotPath)
+			how = "auto-discovered"
 		}
+		fmt.Fprintf(out, "checking against %s (%s)\n", *snapshotPath, how)
 		snap, err := loadSnapshot(*snapshotPath)
 		if err != nil {
 			return err
 		}
-		return compare(out, snap.Current.Results, current, *threshold, *allocTol)
+		return compare(out, *snapshotPath, snap.Current.Results, current, *threshold, *allocTol)
 	}
 
 	snap := Snapshot{
@@ -286,7 +289,7 @@ func loadSnapshot(path string) (*Snapshot, error) {
 
 // compare reports every benchmark against the recorded snapshot and fails
 // when ns/op regresses past threshold or allocs/op past allocTol.
-func compare(out io.Writer, recorded, current map[string]Result, threshold, allocTol float64) error {
+func compare(out io.Writer, snapshotName string, recorded, current map[string]Result, threshold, allocTol float64) error {
 	names := make([]string, 0, len(recorded))
 	for name := range recorded {
 		names = append(names, name)
@@ -317,9 +320,9 @@ func compare(out io.Writer, recorded, current map[string]Result, threshold, allo
 			name, rec.NsPerOp, cur.NsPerOp, nsDelta*100, rec.AllocsPerOp, cur.AllocsPerOp, allocDelta*100, status)
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed", failures)
+		return fmt.Errorf("%d benchmark(s) regressed against %s", failures, snapshotName)
 	}
-	fmt.Fprintf(out, "all %d benchmarks within limits\n", len(names))
+	fmt.Fprintf(out, "all %d benchmarks within limits of %s\n", len(names), snapshotName)
 	return nil
 }
 

@@ -48,25 +48,25 @@ func TestCompareThresholds(t *testing.T) {
 		"BenchmarkA": {NsPerOp: 1200, AllocsPerOp: 104},
 		"BenchmarkB": {NsPerOp: 900, AllocsPerOp: 90},
 	}
-	if err := compare(&out, rec, cur, 0.30, 0.05); err != nil {
+	if err := compare(&out, "BENCH_T.json", rec, cur, 0.30, 0.05); err != nil {
 		t.Errorf("within-limit comparison failed: %v\n%s", err, out.String())
 	}
 
 	// ns/op regression past the threshold.
 	cur["BenchmarkA"] = Result{NsPerOp: 1400, AllocsPerOp: 100}
-	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+	if err := compare(&out, "BENCH_T.json", rec, cur, 0.30, 0.05); err == nil {
 		t.Error("40% ns/op regression passed")
 	}
 
 	// allocs/op regression past the tolerance.
 	cur["BenchmarkA"] = Result{NsPerOp: 1000, AllocsPerOp: 120}
-	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+	if err := compare(&out, "BENCH_T.json", rec, cur, 0.30, 0.05); err == nil {
 		t.Error("20% allocs/op regression passed")
 	}
 
 	// A benchmark recorded in the snapshot but missing from the run fails.
 	delete(cur, "BenchmarkA")
-	if err := compare(&out, rec, cur, 0.30, 0.05); err == nil {
+	if err := compare(&out, "BENCH_T.json", rec, cur, 0.30, 0.05); err == nil {
 		t.Error("missing benchmark passed")
 	}
 }
@@ -111,8 +111,11 @@ func TestSnapshotRoundTripAndCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("self-check failed: %v\n%s", err, out.String())
 	}
-	if !strings.Contains(out.String(), "within limits") {
-		t.Errorf("check output missing summary:\n%s", out.String())
+	if !strings.Contains(out.String(), "within limits of "+snapPath) {
+		t.Errorf("check summary does not name the snapshot:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), snapPath+" (explicit)") {
+		t.Errorf("check output does not announce the explicit snapshot:\n%s", out.String())
 	}
 
 	// Check mode without -snapshot auto-discovers BENCH_N.json in the

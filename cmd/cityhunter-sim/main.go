@@ -27,7 +27,15 @@
 // roaming model) and runs one attacker per site on a single shared radio
 // medium, printing per-site rows and the pooled tally. -attack, -slot,
 // -minutes, -seed and the population flags apply; the single-run output
-// flags (-pcap, -trace-out, -breakdown) do not.
+// flags (-pcap, -trace-out, -breakdown) do not. -population without a
+// -deployment plan hunts the default city-scale trio (station, canteen,
+// mall) with that many far-field pedestrians.
+//
+// Live monitoring: -monitor ADDR serves read-only telemetry over HTTP for
+// the lifetime of the process — Prometheus exposition on /metrics, run
+// status JSON on /runs, a live event stream on /events (SSE) and pprof
+// under /debug/pprof. Monitoring never perturbs the simulation: results
+// are byte-identical with and without it.
 package main
 
 import (
@@ -80,6 +88,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		lodRadius    = fs.Float64("lod-radius", 0, "promotion boundary radius in metres around each site (0 = 1.25x the largest radio range)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		monitorAddr  = fs.String("monitor", "", "serve live telemetry on this address while running (/metrics, /runs, /events, /debug/pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,11 +104,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}()
 
-	if *campaignFile != "" {
-		return runCampaign(ctx, out, *campaignFile, *seed, *parallel)
+	var mon *cityhunter.MonitorServer
+	if *monitorAddr != "" {
+		var bound string
+		mon, bound, err = cityhunter.SharedMonitor(*monitorAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "monitor listening on http://%s — try /metrics, /runs, /events (SSE), /debug/pprof\n", bound)
 	}
 
-	if *deployFile != "" {
+	if *campaignFile != "" {
+		return runCampaign(ctx, out, *campaignFile, *seed, *parallel, mon)
+	}
+
+	if *deployFile != "" || *population > 0 {
 		kind, err := attackByName(*attackName)
 		if err != nil {
 			return err
@@ -119,11 +138,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		} else if *preconnected > 0 {
 			opts = append(opts, cityhunter.WithPreconnected(*preconnected))
 		}
-		return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed,
+		if mon != nil {
+			opts = append(opts, cityhunter.WithMonitorServer(mon))
+		}
+		if *deployFile != "" {
+			return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed,
+				*population, *lodRadius, opts...)
+		}
+		// -population without a -deployment plan: hunt the default
+		// city-scale trio (station, canteen, mall) in a synthetic city.
+		return runCityScale(ctx, out, kind, *slot, *minutes, *seed,
 			*population, *lodRadius, opts...)
-	}
-	if *population > 0 {
-		return fmt.Errorf("-population needs a -deployment plan (the far-field tier promotes around deployed sites)")
 	}
 
 	var venue cityhunter.Venue
@@ -180,6 +205,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *traceOut != "" {
 		opts = append(opts, cityhunter.WithPerfettoTrace())
+	}
+	if mon != nil {
+		opts = append(opts, cityhunter.WithMonitorServer(mon))
 	}
 
 	res, err := world.Run(venue, kind, *slot, time.Duration(*minutes)*time.Minute, opts...)
@@ -273,7 +301,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // to) finished, so output is identical at any -parallel value; progress goes
 // to stderr. On cancellation the completed runs still print before the
 // error is returned.
-func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, parallel int) error {
+func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, parallel int, mon *cityhunter.MonitorServer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -297,6 +325,10 @@ func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, pa
 			}
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %s\n", p.Done, p.Total, p.Name, status)
 		},
+	}
+	if mon != nil {
+		pool.Publisher = mon
+		pool.Label = "campaign " + path
 	}
 
 	res, runErr := world.RunCampaign(ctx, specs, pool)
@@ -351,6 +383,56 @@ func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhun
 
 	fmt.Fprintf(out, "deployment %s: %d sites, %s knowledge plane, %d roams\n",
 		path, len(res.Sites), res.Knowledge, res.Roams)
+	for _, r := range res.Sites {
+		fmt.Fprintf(out, "%-24s %s, %s: %v\n", r.Venue, r.Attack, r.SlotLabel, r.Tally)
+	}
+	fmt.Fprintf(out, "pooled: %v\n", res.Tally)
+	if ff := res.FarField; ff != nil {
+		fmt.Fprintf(out, "far field: %d pedestrians, %d promoted (%d promotions, %d demotions, peak %d), %v\n",
+			ff.Pedestrians, ff.Promoted, ff.Promotions, ff.Demotions, ff.PeakPromoted, ff.Tally)
+		for i, s := range ff.Sites {
+			fmt.Fprintf(out, "  site %-18s %d promotions, %d hits\n", res.Sites[i].Venue+":", s.Promotions, s.Hits)
+		}
+	}
+	return nil
+}
+
+// runCityScale is the no-plan-file deployment path: -population with no
+// -deployment hunts the default city-scale trio (station, canteen, mall)
+// embedded in the synthetic dozen-district city, mirroring the
+// examples/city-scale walkthrough so a one-liner exercises the
+// level-of-detail tier (and, with -monitor, lights up the telemetry plane).
+func runCityScale(ctx context.Context, out io.Writer, kind cityhunter.AttackKind,
+	slot, minutes int, seed int64, population int, lodRadius float64, opts ...cityhunter.RunOption) error {
+	world, err := cityhunter.NewWorld(
+		cityhunter.WithSeed(seed),
+		cityhunter.WithCityConfig(cityhunter.CityScaleCityConfig(seed)),
+	)
+	if err != nil {
+		return err
+	}
+	sites := []cityhunter.Venue{
+		cityhunter.StationVenue(),
+		cityhunter.CanteenVenue(),
+		cityhunter.MallVenue(),
+	}
+	if lodRadius == 0 {
+		lodRadius = 80
+	}
+	stops := world.City.RouteStops()
+	fmt.Fprintf(out, "city-scale deployment: %d sites, %d districts, %d far-field pedestrians\n",
+		len(sites), len(stops), population)
+
+	res, err := world.DeploySitesContext(ctx, sites, kind, slot,
+		time.Duration(minutes)*time.Minute,
+		cityhunter.WithPopulationScale(population),
+		cityhunter.WithLODRadius(lodRadius),
+		cityhunter.WithCityRoutes(stops),
+		cityhunter.WithRunOptions(opts...))
+	if err != nil {
+		return err
+	}
+
 	for _, r := range res.Sites {
 		fmt.Fprintf(out, "%-24s %s, %s: %v\n", r.Venue, r.Attack, r.SlotLabel, r.Tally)
 	}

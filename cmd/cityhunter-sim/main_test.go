@@ -225,10 +225,17 @@ func TestRunDeploymentPopulation(t *testing.T) {
 		t.Errorf("same-seed far-field runs diverged:\n--- first ---\n%s\n--- second ---\n%s", text, again)
 	}
 
+	// -population with no -deployment plan hunts the default city-scale
+	// trio instead of erroring.
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-population", "100"}, &out); err == nil ||
-		!strings.Contains(err.Error(), "-deployment") {
-		t.Fatalf("err = %v, want -population-needs--deployment complaint", err)
+	if err := run(context.Background(),
+		[]string{"-population", "100", "-minutes", "5"}, &out); err != nil {
+		t.Fatalf("default city-scale run: %v", err)
+	}
+	for _, want := range []string{"city-scale deployment: 3 sites", "far field: 100 pedestrians"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("city-scale output missing %q\n--- output ---\n%s", want, out.String())
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string) error {
 		progress    = fs.Bool("progress", false, "stream per-run campaign progress to stderr")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole harness to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		monitorAddr = fs.String("monitor", "", "serve live telemetry on this address while the harness runs (/metrics, /runs, /events, /debug/pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +108,14 @@ func run(ctx context.Context, args []string) error {
 		ArrivalScale: *scale,
 	}
 	opts.Pool.Workers = *parallel
+	if *monitorAddr != "" {
+		mon, bound, err := cityhunter.SharedMonitor(*monitorAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "monitor listening on http://%s — try /metrics, /runs, /events (SSE), /debug/pprof\n", bound)
+		opts.Pool.Publisher = mon
+	}
 	if *progress {
 		opts.Pool.OnProgress = func(p cityhunter.CampaignProgress) {
 			status := "ok"

@@ -1,0 +1,63 @@
+// Command promlint validates Prometheus text exposition (format 0.0.4)
+// read from files or stdin, in the spirit of `promtool check metrics` but
+// with zero dependencies. CI pipes the monitor's /metrics page through it;
+// any problem is a non-zero exit.
+//
+// Usage:
+//
+//	promlint [file ...]        # no files = stdin
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cityhunter/internal/promlint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	type input struct {
+		name string
+		r    io.Reader
+		c    io.Closer
+	}
+	var inputs []input
+	if len(args) == 0 {
+		inputs = append(inputs, input{name: "<stdin>", r: os.Stdin})
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, input{name: path, r: f, c: f})
+	}
+
+	bad := 0
+	for _, in := range inputs {
+		probs, err := promlint.Lint(in.r)
+		if in.c != nil {
+			in.c.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", in.name, err)
+		}
+		for _, p := range probs {
+			fmt.Fprintf(out, "%s:%s\n", in.name, p)
+		}
+		bad += len(probs)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d problem(s)", bad)
+	}
+	fmt.Fprintln(out, "exposition clean")
+	return nil
+}

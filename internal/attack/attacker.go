@@ -109,6 +109,9 @@ type Config struct {
 	// reply-batch spans on the trace, and association/deauth journal
 	// events.
 	Obs *obs.Runtime
+	// Site, when non-empty, labels the attacker's metric series with
+	// site=<Site>, so a live monitor can tell co-deployed attackers apart.
+	Site string
 }
 
 // clientInfo tracks what the attacker knows about one prober.
@@ -143,7 +146,7 @@ type Attacker struct {
 	beaconsSent          int
 
 	// Observability handles; all nil-safe when unset.
-	journal      *obs.Journal
+	rt           *obs.Runtime
 	trace        *obs.Trace
 	tid          int
 	mDirect      *obs.Counter
@@ -180,16 +183,22 @@ func New(engine *sim.Engine, medium *sim.Medium, strategy Strategy, cfg Config) 
 		knownAPSet: make(map[ieee80211.MAC]bool),
 	}
 	if rt := cfg.Obs; rt != nil {
-		a.journal = rt.Journal
+		a.rt = rt
 		a.trace = rt.Trace
 		a.tid = rt.Trace.Track("attacker " + cfg.MAC.String())
 		if rt.Metrics != nil {
-			a.mDirect = rt.Metrics.Counter("attack_probes_heard", "kind", "directed")
-			a.mBroadcast = rt.Metrics.Counter("attack_probes_heard", "kind", "broadcast")
-			a.mResponses = rt.Metrics.Counter("attack_probe_responses_sent")
-			a.mVictims = rt.Metrics.Counter("attack_victims")
-			a.mDeauths = rt.Metrics.Counter("attack_deauths_sent")
-			a.mBeaconsSent = rt.Metrics.Counter("attack_beacons_sent")
+			counter := func(name string, labels ...string) *obs.Counter {
+				if cfg.Site != "" {
+					labels = append(labels, "site", cfg.Site)
+				}
+				return rt.Metrics.Counter(name, labels...)
+			}
+			a.mDirect = counter("attack_probes_heard", "kind", "directed")
+			a.mBroadcast = counter("attack_probes_heard", "kind", "broadcast")
+			a.mResponses = counter("attack_probe_responses_sent")
+			a.mVictims = counter("attack_victims")
+			a.mDeauths = counter("attack_deauths_sent")
+			a.mBeaconsSent = counter("attack_beacons_sent")
 		}
 	}
 	return a, nil
@@ -360,10 +369,11 @@ func (a *Attacker) onAssocRequest(f *ieee80211.Frame) {
 		DirectProber: ci.directProber,
 	})
 	a.mVictims.Inc()
-	if a.journal != nil {
-		a.journal.Record(now, obs.EventAssociation, f.SA.String(),
-			fmt.Sprintf("associated via %q", f.SSID))
+	detail := fmt.Sprintf("associated via %q", f.SSID)
+	if a.cfg.Site != "" {
+		detail += " at " + a.cfg.Site
 	}
+	a.rt.Event(now, obs.EventAssociation, f.SA.String(), detail)
 	a.strategy.RecordHit(now, f.SA, f.SSID)
 }
 
@@ -393,8 +403,8 @@ func (a *Attacker) scheduleDeauthSweep() {
 				Reason:  ieee80211.ReasonPrevAuthExpired,
 			})
 		}
-		if a.journal != nil && len(a.knownAPs) > 0 {
-			a.journal.Record(a.engine.Now(), obs.EventDeauthSweep, a.cfg.MAC.String(),
+		if len(a.knownAPs) > 0 {
+			a.rt.Event(a.engine.Now(), obs.EventDeauthSweep, a.cfg.MAC.String(),
 				fmt.Sprintf("spoofed %d deauth broadcasts", len(a.knownAPs)))
 		}
 		a.scheduleDeauthSweep()

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"cityhunter/internal/obs"
 	"cityhunter/internal/scenario"
 	"cityhunter/internal/stats"
 )
@@ -80,6 +81,19 @@ type Pool struct {
 	// OnProgress, when non-nil, is invoked (serially, from pool
 	// goroutines) after each spec finishes, successfully or not.
 	OnProgress func(Progress)
+	// Publisher, when non-nil, streams the campaign into a live monitor:
+	// the pool registers one "campaign" run carrying progress gauges
+	// (specs total/done/running/failed, ETA from completed-spec wall
+	// times), and every spec's run publishes its own virtual-time
+	// telemetry unless the base configuration already set a publisher.
+	// Results stay byte-identical — publishing is read-only.
+	Publisher obs.Publisher
+	// PublishEvery overrides the per-run snapshot cadence (virtual time);
+	// 0 keeps the scenario default.
+	PublishEvery time.Duration
+	// Label names the campaign on the monitor; empty derives "campaign
+	// (N specs)".
+	Label string
 }
 
 // Progress reports one finished spec.
@@ -241,6 +255,17 @@ func (c *Campaign) config(i int) scenario.Config {
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
+	if c.Pool.Publisher != nil && cfg.Publisher == nil {
+		// Each spec's run registers itself on the campaign's monitor; an
+		// explicit per-run publisher set via Base or Configure wins.
+		cfg.Publisher = c.Pool.Publisher
+		if c.Pool.PublishEvery > 0 {
+			cfg.PublishEvery = c.Pool.PublishEvery
+		}
+		if cfg.RunLabel == "" {
+			cfg.RunLabel = s.Name
+		}
+	}
 	return cfg
 }
 
@@ -272,17 +297,20 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	feed := startCampaignFeed(c.Pool, n, workers)
+
 	out := &Outcome{
 		Results:     make([]*scenario.Result, n),
 		Deployments: make([]*scenario.DeploymentResult, n),
 		Errs:        make([]error, n),
 	}
 	var (
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-		next   int
-		done   int
-		failed bool
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		next     int
+		done     int
+		failures int
+		failed   bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -299,6 +327,8 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 				mu.Unlock()
 
 				cfg := c.config(i)
+				feed.specStarted()
+				specStart := time.Now()
 				var (
 					res *scenario.Result
 					dep *scenario.DeploymentResult
@@ -311,18 +341,23 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 				} else {
 					res, err = scenario.RunContext(runCtx, cfg, c.Specs[i].Slot, c.Specs[i].Duration)
 				}
+				specWall := time.Since(specStart)
 
 				mu.Lock()
 				out.Results[i] = res
 				out.Deployments[i] = dep
 				out.Errs[i] = err
 				done++
+				if err != nil {
+					failures++
+				}
 				if err != nil && runCtx.Err() == nil {
 					// A hard spec failure (not a cancellation): stop
 					// dispatching and cancel in-flight runs.
 					failed = true
 					cancel()
 				}
+				feed.specFinished(i, c.Specs[i].Name, specWall, err, done, failures)
 				if c.Pool.OnProgress != nil {
 					c.Pool.OnProgress(Progress{
 						Index: i, Name: c.Specs[i].Name,
@@ -336,11 +371,21 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 	wg.Wait()
 
 	out.aggregate()
-	if err := ctx.Err(); err != nil {
+	err := c.runError(ctx, out)
+	feed.finish(err)
+	if err != nil {
 		return out, err
 	}
-	// Report the lowest-index hard failure. Runs the internal cancel swept
-	// up carry context errors; they are collateral, not the cause.
+	return out, nil
+}
+
+// runError selects the error Run reports: the external cancellation if
+// any, else the lowest-index hard spec failure. Runs the internal cancel
+// swept up carry context errors; they are collateral, not the cause.
+func (c *Campaign) runError(ctx context.Context, out *Outcome) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var firstErr error
 	firstIdx := -1
 	for i, err := range out.Errs {
@@ -351,13 +396,13 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 			firstErr, firstIdx = err, i
 		}
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return out, fmt.Errorf("campaign: spec %d (%s): %w", i, c.Specs[i].Name, err)
+			return fmt.Errorf("campaign: spec %d (%s): %w", i, c.Specs[i].Name, err)
 		}
 	}
 	if firstErr != nil {
-		return out, fmt.Errorf("campaign: spec %d (%s): %w", firstIdx, c.Specs[firstIdx].Name, firstErr)
+		return fmt.Errorf("campaign: spec %d (%s): %w", firstIdx, c.Specs[firstIdx].Name, firstErr)
 	}
-	return out, nil
+	return nil
 }
 
 // aggregate fills Outcome.Completed and Outcome.Aggregate from the

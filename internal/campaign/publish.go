@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cityhunter/internal/obs"
+)
+
+// campaignFeed is the pool's own presence on a live monitor: one
+// "campaign" run whose registry carries the progress gauges, refreshed
+// after every spec. Campaign progress is wall-clock territory — worker
+// scheduling is nondeterministic by design — so unlike the per-run feeds
+// its timestamps come from time.Since, never the virtual clock. None of it
+// feeds back into any simulation.
+type campaignFeed struct {
+	rp      obs.RunPublisher
+	reg     *obs.Registry
+	start   time.Time
+	total   int
+	workers int
+
+	mu        sync.Mutex
+	running   int
+	completed []time.Duration // wall durations of finished specs
+
+	gTotal   *obs.Gauge
+	gDone    *obs.Gauge
+	gRunning *obs.Gauge
+	gFailed  *obs.Gauge
+	gETA     *obs.Gauge
+	hSpec    *obs.Histogram
+}
+
+// startCampaignFeed registers the campaign with the pool's publisher.
+// Returns nil (a safe no-op handle) when no publisher is configured.
+func startCampaignFeed(p Pool, total, workers int) *campaignFeed {
+	if p.Publisher == nil {
+		return nil
+	}
+	label := p.Label
+	if label == "" {
+		label = fmt.Sprintf("campaign (%d specs)", total)
+	}
+	reg := obs.NewRegistry()
+	f := &campaignFeed{
+		reg:      reg,
+		start:    time.Now(),
+		total:    total,
+		gTotal:   reg.Gauge("campaign_specs_total"),
+		gDone:    reg.Gauge("campaign_specs_done"),
+		gRunning: reg.Gauge("campaign_specs_running"),
+		gFailed:  reg.Gauge("campaign_specs_failed"),
+		gETA:     reg.Gauge("campaign_eta_seconds"),
+		hSpec:    reg.Histogram("campaign_spec_wall_seconds", []float64{1, 5, 15, 60, 300, 1800}),
+	}
+	f.workers = workers
+	f.gTotal.Set(float64(total))
+	f.rp = p.Publisher.StartRun(obs.RunInfo{
+		Kind:   "campaign",
+		Label:  label,
+		Labels: map[string]string{"workers": fmt.Sprintf("%d", workers)},
+	})
+	f.rp.PublishSnapshot(0, reg.Snapshot())
+	return f
+}
+
+// specStarted bumps the running gauge. Nil-safe.
+func (f *campaignFeed) specStarted() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.running++
+	running := f.running
+	f.mu.Unlock()
+	f.gRunning.Set(float64(running))
+	f.publish()
+}
+
+// specFinished folds one finished spec into the gauges, re-estimates the
+// ETA from the mean completed-spec wall time, emits a spec-done event and
+// publishes a fresh snapshot. Nil-safe.
+func (f *campaignFeed) specFinished(index int, name string, wall time.Duration, err error, done, failed int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.running--
+	running := f.running
+	f.completed = append(f.completed, wall)
+	var mean time.Duration
+	for _, d := range f.completed {
+		mean += d
+	}
+	mean /= time.Duration(len(f.completed))
+	f.mu.Unlock()
+
+	f.gRunning.Set(float64(running))
+	f.gDone.Set(float64(done))
+	f.gFailed.Set(float64(failed))
+	f.hSpec.Observe(wall.Seconds())
+	remaining := f.total - done
+	eta := 0.0
+	if remaining > 0 && f.workers > 0 {
+		// Remaining specs drain through the pool roughly remaining/workers
+		// deep, each costing about the mean observed wall time.
+		batches := (remaining + f.workers - 1) / f.workers
+		eta = (time.Duration(batches) * mean).Seconds()
+	}
+	f.gETA.Set(eta)
+
+	if name == "" {
+		name = fmt.Sprintf("run %d", index)
+	}
+	detail := fmt.Sprintf("%d/%d done in %v", done, f.total, wall.Round(time.Millisecond))
+	if err != nil {
+		detail += "; error: " + err.Error()
+	}
+	f.rp.PublishEvent(obs.Event{At: time.Since(f.start), Type: obs.EventSpecDone,
+		Actor: name, Detail: detail})
+	f.publish()
+}
+
+// publish pushes the current gauges, timestamped with campaign wall time.
+func (f *campaignFeed) publish() {
+	f.rp.PublishSnapshot(time.Since(f.start), f.reg.Snapshot())
+}
+
+// finish closes the campaign on the monitor. Nil-safe.
+func (f *campaignFeed) finish(err error) {
+	if f == nil {
+		return
+	}
+	f.publish()
+	f.rp.FinishRun(time.Since(f.start), err)
+}

@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"cityhunter/internal/obs"
+)
+
+// sseBuffer is each subscriber's channel depth. A subscriber that cannot
+// drain fast enough loses events (counted in monitor_sse_dropped_events)
+// rather than blocking the publishing run.
+const sseBuffer = 256
+
+// sseEvent is one wire event: the run's journal event plus the run ID so a
+// stream across many runs stays attributable.
+type sseEvent struct {
+	Run    string        `json:"run"`
+	At     time.Duration `json:"at"`
+	Type   string        `json:"type"`
+	Actor  string        `json:"actor,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// subscriber is one connected /events client.
+type subscriber struct {
+	ch  chan sseEvent
+	run string // filter to one run ID; "" = all
+}
+
+// broadcast fans an event out to every subscriber without ever blocking
+// the publisher: full channels drop.
+func (s *Server) broadcast(runID string, ev obs.Event) {
+	wire := sseEvent{Run: runID, At: ev.At, Type: ev.Type, Actor: ev.Actor, Detail: ev.Detail}
+	s.subMu.Lock()
+	for _, sub := range s.subs {
+		if sub.run != "" && sub.run != runID {
+			continue
+		}
+		select {
+		case sub.ch <- wire:
+		default:
+			s.mSSEDropped.Inc()
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// subscribe registers an SSE client; the returned cancel must be called on
+// disconnect.
+func (s *Server) subscribe(run string) (*subscriber, func()) {
+	sub := &subscriber{ch: make(chan sseEvent, sseBuffer), run: run}
+	s.subMu.Lock()
+	s.subSeq++
+	id := s.subSeq
+	s.subs[id] = sub
+	n := len(s.subs)
+	s.subMu.Unlock()
+	s.gSubscribers.Set(float64(n))
+	return sub, func() {
+		s.subMu.Lock()
+		delete(s.subs, id)
+		n := len(s.subs)
+		s.subMu.Unlock()
+		s.gSubscribers.Set(float64(n))
+	}
+}
+
+// Handler returns the monitor's HTTP mux: read-only telemetry plus pprof.
+// Mount it under your own server if you need TLS or auth in front.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/runs/", s.handleRun)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "cityhunter monitor — read-only telemetry")
+	fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+	fmt.Fprintln(w, "  /runs         JSON run listing")
+	fmt.Fprintln(w, "  /runs/{id}    one run: status, metrics, recent events")
+	fmt.Fprintln(w, "  /events       SSE stream of run events (?run=run-N to filter)")
+	fmt.Fprintln(w, "  /debug/pprof  process profiling")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mScrapesTotal.Inc()
+	snap := s.gather()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	states := make([]*runState, 0, len(s.order))
+	for _, id := range s.order {
+		states = append(states, s.runs[id])
+	}
+	s.mu.Unlock()
+	out := make([]runStatus, 0, len(states))
+	for _, rs := range states {
+		out = append(out, rs.statusJSON())
+	}
+	writeJSON(w, out)
+}
+
+// runDetail is /runs/{id}: the summary plus the latest metric snapshot and
+// the run's journal tail.
+type runDetail struct {
+	runStatus
+	Metrics      obs.Snapshot `json:"metrics,omitempty"`
+	RecentEvents []obs.Event  `json:"recent_events,omitempty"`
+}
+
+const recentEventTail = 100
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/runs/")
+	s.mu.Lock()
+	rs := s.runs[id]
+	s.mu.Unlock()
+	if rs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	d := runDetail{runStatus: rs.statusJSON()}
+	rs.mu.Lock()
+	d.Metrics = rs.snap
+	rs.mu.Unlock()
+	evs := rs.events.Events()
+	if len(evs) > recentEventTail {
+		evs = evs[len(evs)-recentEventTail:]
+	}
+	d.RecentEvents = evs
+	writeJSON(w, d)
+}
+
+// handleEvents serves the SSE stream. The handler returns — releasing its
+// goroutine and subscriber slot — as soon as the client disconnects
+// (request context done) or the server closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub, cancel := s.subscribe(r.URL.Query().Get("run"))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	n := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.ch:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			n++
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", n, ev.Type, data)
+			fl.Flush()
+		}
+	}
+}

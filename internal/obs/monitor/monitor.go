@@ -1,0 +1,325 @@
+// Package monitor is the live telemetry plane: a read-only HTTP server any
+// run, deployment or campaign publishes into. It implements obs.Publisher;
+// runs push virtual-time metric snapshots and structured events, and the
+// server serves them as a Prometheus /metrics exposition, JSON /runs
+// status, and an /events SSE stream, with net/http/pprof mounted under
+// /debug/ for the process itself.
+//
+// The design follows the Rayhunter monitoring API split: the server only
+// observes — it cannot start, stop or reconfigure a run. All simulation
+// state stays timestamped in virtual time, so attaching a monitor never
+// perturbs a seeded run; only campaign ETA and run bookkeeping use the wall
+// clock, and those never feed back into the simulation.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cityhunter/internal/obs"
+)
+
+// DefaultEventCap bounds each run's event shard in the monitor.
+const DefaultEventCap = 2048
+
+// Server is the telemetry plane. Create with New, attach to runs as an
+// obs.Publisher, and expose over HTTP with Start (or mount Handler
+// yourself). The zero value is not usable.
+type Server struct {
+	self    *obs.Registry       // monitor self-metrics, exported unlabelled
+	journal *obs.ShardedJournal // all runs' events, one shard per run
+
+	mu    sync.Mutex
+	runs  map[string]*runState
+	order []string // run IDs in registration order
+	seq   int
+
+	subMu  sync.Mutex
+	subs   map[int]*subscriber
+	subSeq int
+
+	httpMu sync.Mutex
+	ln     net.Listener
+	hs     *http.Server
+
+	mRunsStarted  *obs.Counter
+	mEventsSeen   *obs.Counter
+	mSSEDropped   *obs.Counter
+	gRunsActive   *obs.Gauge
+	gSubscribers  *obs.Gauge
+	mSnapshotsIn  *obs.Counter
+	mScrapesTotal *obs.Counter
+}
+
+// New returns an empty monitor server.
+func New() *Server {
+	self := obs.NewRegistry()
+	return &Server{
+		self:          self,
+		journal:       obs.NewShardedJournal(),
+		runs:          make(map[string]*runState),
+		subs:          make(map[int]*subscriber),
+		mRunsStarted:  self.Counter("monitor_runs_started"),
+		mEventsSeen:   self.Counter("monitor_events_received"),
+		mSSEDropped:   self.Counter("monitor_sse_dropped_events"),
+		gRunsActive:   self.Gauge("monitor_runs_active"),
+		gSubscribers:  self.Gauge("monitor_subscribers"),
+		mSnapshotsIn:  self.Counter("monitor_snapshots_received"),
+		mScrapesTotal: self.Counter("monitor_scrapes"),
+	}
+}
+
+// runState is one registered run. Each run gets its own mutex and journal
+// shard, so concurrent campaign workers publishing different runs never
+// contend on a shared lock — only the scrape path walks all runs.
+type runState struct {
+	srv  *Server
+	id   string
+	info obs.RunInfo
+
+	startedWall time.Time
+
+	mu           sync.Mutex
+	status       string // "running", "finished", "failed"
+	errMsg       string
+	at           time.Duration // virtual time of the latest snapshot/event
+	snap         obs.Snapshot
+	snapshots    int
+	firstAssoc   bool
+	finishedWall time.Time
+
+	events *obs.JournalShard // own lock; written by run, read by HTTP
+}
+
+var _ obs.Publisher = (*Server)(nil)
+var _ obs.RunPublisher = (*runState)(nil)
+
+// StartRun implements obs.Publisher. Safe for concurrent use.
+func (s *Server) StartRun(info obs.RunInfo) obs.RunPublisher {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("run-%d", s.seq)
+	rs := &runState{
+		srv:         s,
+		id:          id,
+		info:        info,
+		startedWall: time.Now(),
+		status:      "running",
+		events:      s.journal.NewShard(DefaultEventCap),
+	}
+	s.runs[id] = rs
+	s.order = append(s.order, id)
+	active := s.countActiveLocked()
+	s.mu.Unlock()
+
+	s.mRunsStarted.Inc()
+	s.gRunsActive.Set(float64(active))
+	rs.record(obs.Event{Type: obs.EventRunStart, Actor: info.Label,
+		Detail: fmt.Sprintf("kind=%s", info.Kind)})
+	return rs
+}
+
+// countActiveLocked counts running runs; callers hold s.mu.
+func (s *Server) countActiveLocked() int {
+	active := 0
+	for _, rs := range s.runs {
+		rs.mu.Lock()
+		if rs.status == "running" {
+			active++
+		}
+		rs.mu.Unlock()
+	}
+	return active
+}
+
+// PublishSnapshot implements obs.RunPublisher.
+func (rs *runState) PublishSnapshot(at time.Duration, snap obs.Snapshot) {
+	rs.mu.Lock()
+	rs.at = at
+	rs.snap = snap
+	rs.snapshots++
+	rs.mu.Unlock()
+	rs.srv.mSnapshotsIn.Inc()
+}
+
+// PublishEvent implements obs.RunPublisher. The monitor synthesises a
+// first-association event per run from the association stream — the
+// paper's time-to-first-victim measure, surfaced live.
+func (rs *runState) PublishEvent(ev obs.Event) {
+	rs.record(ev)
+	if ev.Type == obs.EventAssociation {
+		rs.mu.Lock()
+		first := !rs.firstAssoc
+		rs.firstAssoc = true
+		rs.mu.Unlock()
+		if first {
+			rs.record(obs.Event{At: ev.At, Type: obs.EventFirstAssociation,
+				Actor: ev.Actor, Detail: "first association of " + rs.id})
+		}
+	}
+}
+
+// FinishRun implements obs.RunPublisher.
+func (rs *runState) FinishRun(at time.Duration, err error) {
+	rs.mu.Lock()
+	rs.at = at
+	rs.finishedWall = time.Now()
+	detail := "ok"
+	if err != nil {
+		rs.status = "failed"
+		rs.errMsg = err.Error()
+		detail = "error: " + rs.errMsg
+	} else {
+		rs.status = "finished"
+	}
+	rs.mu.Unlock()
+
+	rs.record(obs.Event{At: at, Type: obs.EventRunFinish, Actor: rs.info.Label, Detail: detail})
+	rs.srv.mu.Lock()
+	active := rs.srv.countActiveLocked()
+	rs.srv.mu.Unlock()
+	rs.srv.gRunsActive.Set(float64(active))
+}
+
+// record journals the event under the run's shard, tracks the latest
+// virtual time, and fans it out to SSE subscribers.
+func (rs *runState) record(ev obs.Event) {
+	rs.events.Record(ev.At, ev.Type, ev.Actor, ev.Detail)
+	rs.mu.Lock()
+	if ev.At > rs.at {
+		rs.at = ev.At
+	}
+	rs.mu.Unlock()
+	rs.srv.mEventsSeen.Inc()
+	rs.srv.broadcast(rs.id, ev)
+}
+
+// identityLabels flattens a run's identity into label pairs for Relabel:
+// the run ID always, plus whatever RunInfo.Labels carries, in sorted key
+// order for determinism.
+func (rs *runState) identityLabels() []string {
+	pairs := []string{"run", rs.id}
+	keys := make([]string, 0, len(rs.info.Labels))
+	for k := range rs.info.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pairs = append(pairs, k, rs.info.Labels[k])
+	}
+	return pairs
+}
+
+// gather merges the latest snapshot of every run (stamped with run
+// identity labels) plus the monitor's self-metrics into one exposition-
+// ready snapshot.
+func (s *Server) gather() obs.Snapshot {
+	s.mu.Lock()
+	states := make([]*runState, 0, len(s.order))
+	for _, id := range s.order {
+		states = append(states, s.runs[id])
+	}
+	s.mu.Unlock()
+
+	var merged obs.Snapshot
+	for _, rs := range states {
+		rs.mu.Lock()
+		snap := rs.snap
+		rs.mu.Unlock()
+		if len(snap) == 0 {
+			continue
+		}
+		merged = append(merged, snap.Relabel(rs.identityLabels()...)...)
+	}
+	merged = append(merged, s.self.Snapshot()...)
+	merged.Sort()
+	return merged
+}
+
+// runStatus is the JSON shape served by /runs and /runs/{id}.
+type runStatus struct {
+	ID             string            `json:"id"`
+	Kind           string            `json:"kind"`
+	Label          string            `json:"label,omitempty"`
+	Labels         map[string]string `json:"labels,omitempty"`
+	Status         string            `json:"status"`
+	Error          string            `json:"error,omitempty"`
+	StartedWall    time.Time         `json:"started_wall"`
+	FinishedWall   *time.Time        `json:"finished_wall,omitempty"`
+	VirtualSeconds float64           `json:"virtual_seconds"`
+	Snapshots      int               `json:"snapshots"`
+	Events         int               `json:"events"`
+	EventsDropped  int               `json:"events_dropped,omitempty"`
+}
+
+// status renders the run's summary.
+func (rs *runState) statusJSON() runStatus {
+	rs.mu.Lock()
+	st := runStatus{
+		ID:             rs.id,
+		Kind:           rs.info.Kind,
+		Label:          rs.info.Label,
+		Labels:         rs.info.Labels,
+		Status:         rs.status,
+		Error:          rs.errMsg,
+		StartedWall:    rs.startedWall,
+		VirtualSeconds: rs.at.Seconds(),
+		Snapshots:      rs.snapshots,
+	}
+	if !rs.finishedWall.IsZero() {
+		t := rs.finishedWall
+		st.FinishedWall = &t
+	}
+	rs.mu.Unlock()
+	st.Events = rs.events.Len()
+	st.EventsDropped = rs.events.Dropped()
+	return st
+}
+
+// Start listens on addr and serves the monitor endpoints in a background
+// goroutine. It returns the bound address ("127.0.0.1:43781"), which
+// matters when addr requests an ephemeral port (":0"). Call Close to shut
+// the listener down.
+func (s *Server) Start(addr string) (string, error) {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.ln != nil {
+		return "", errors.New("monitor: already started on " + s.ln.Addr().String())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.hs.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the HTTP listener and disconnects every SSE subscriber. Runs
+// already registered keep publishing into the server's state harmlessly.
+func (s *Server) Close() error {
+	s.httpMu.Lock()
+	hs := s.hs
+	s.ln, s.hs = nil, nil
+	s.httpMu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}

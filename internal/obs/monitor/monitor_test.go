@@ -1,0 +1,214 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cityhunter/internal/obs"
+	"cityhunter/internal/promlint"
+)
+
+// publishDemoRun registers one run and pushes a snapshot plus an
+// association event through the publisher interface.
+func publishDemoRun(s *Server) obs.RunPublisher {
+	rp := s.StartRun(obs.RunInfo{
+		Kind:  "run",
+		Label: "canteen/cityhunter/slot4",
+		Labels: map[string]string{
+			"attack": "cityhunter",
+			"seed":   "1",
+		},
+	})
+	reg := obs.NewRegistry()
+	reg.Counter("attack_hits").Add(7)
+	reg.Counter("attack_victims").Add(2)
+	rp.PublishSnapshot(5*time.Second, reg.Snapshot())
+	rp.PublishEvent(obs.Event{At: 3 * time.Second, Type: obs.EventAssociation,
+		Actor: "02:00:00:aa:bb:cc", Detail: `associated via "TP-Link_Home"`})
+	return rp
+}
+
+// TestMonitorEndpoints round-trips one run through the HTTP surface:
+// /metrics must carry the run-stamped counters and pass the vendored
+// exposition linter, /runs and /runs/{id} must report the run's status.
+func TestMonitorEndpoints(t *testing.T) {
+	s := New()
+	rp := publishDemoRun(s)
+	rp.FinishRun(30*time.Second, nil)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// /metrics: content type, run identity labels, lint-clean exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q, want 0.0.4 exposition", ct)
+	}
+	probs, err := promlint.Lint(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("exposition lint: %s", p)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text() + "\n")
+	}
+	resp.Body.Close()
+	body := sb.String()
+	for _, want := range []string{
+		`attack_hits{attack="cityhunter",run="run-1",seed="1"} 7`,
+		"monitor_runs_started 1",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /runs: one finished run with the synthesised first-association event
+	// counted alongside start, association and finish.
+	resp, err = http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Events int    `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&runs)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != "run-1" || runs[0].Status != "finished" {
+		t.Fatalf("/runs = %+v, want one finished run-1", runs)
+	}
+	if runs[0].Events != 4 { // start, association, first-association, finish
+		t.Errorf("run events = %d, want 4", runs[0].Events)
+	}
+
+	// /runs/run-1: detail carries the metric snapshot and the journal tail.
+	resp, err = http.Get(ts.URL + "/runs/run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail struct {
+		Metrics      obs.Snapshot `json:"metrics"`
+		RecentEvents []obs.Event  `json:"recent_events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&detail)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := detail.Metrics.Value("attack_hits"); v != 7 {
+		t.Errorf("run detail attack_hits = %v, want 7", v)
+	}
+	types := make([]string, 0, len(detail.RecentEvents))
+	for _, e := range detail.RecentEvents {
+		types = append(types, e.Type)
+	}
+	if len(types) != 4 || types[2] != obs.EventFirstAssociation {
+		t.Errorf("run events = %v, want first-association synthesised third", types)
+	}
+}
+
+// TestSSEStream subscribes over a real connection and checks a published
+// event arrives framed as SSE.
+func TestSSEStream(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The subscriber is registered synchronously in the handler before the
+	// retry preamble is flushed; wait for that first line, then publish.
+	br := bufio.NewReader(resp.Body)
+	if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "retry:") {
+		t.Fatalf("SSE preamble = %q, %v", line, err)
+	}
+	publishDemoRun(s)
+
+	var data string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+			break
+		}
+	}
+	var ev sseEvent
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("SSE data %q: %v", data, err)
+	}
+	if ev.Run != "run-1" || ev.Type != obs.EventRunStart {
+		t.Errorf("first SSE event = %+v, want run-1 run-start", ev)
+	}
+}
+
+// TestSSEDisconnectReleasesSubscriber checks a departing client frees its
+// subscriber slot — the leak a long-lived monitor cannot afford.
+func TestSSEDisconnectReleasesSubscriber(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor := func(want float64) bool {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.gSubscribers.Value() == want {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitFor(1) {
+		t.Fatal("subscriber never registered")
+	}
+
+	cancel()
+	resp.Body.Close()
+	if !waitFor(0) {
+		t.Fatal("subscriber not released after disconnect")
+	}
+
+	// Broadcasting after the disconnect must not block or panic.
+	publishDemoRun(s)
+}

@@ -15,8 +15,10 @@
 // branch when observability is off.
 package obs
 
-// Runtime bundles the three sinks an instrumented component may feed. Any
-// field may be nil to disable that sink; a nil *Runtime disables them all.
+import "time"
+
+// Runtime bundles the sinks an instrumented component may feed. Any field
+// may be nil to disable that sink; a nil *Runtime disables them all.
 type Runtime struct {
 	// Metrics is the counter/gauge/histogram registry.
 	Metrics *Registry
@@ -24,9 +26,28 @@ type Runtime struct {
 	Journal *Journal
 	// Trace collects Perfetto/Chrome trace spans.
 	Trace *Trace
+	// Publish, when set, streams selected events to a live monitor in
+	// addition to the journal. Set by the scenario runner when a Publisher
+	// is configured.
+	Publish RunPublisher
 }
 
 // Enabled reports whether any sink is active.
 func (rt *Runtime) Enabled() bool {
-	return rt != nil && (rt.Metrics != nil || rt.Journal != nil || rt.Trace != nil)
+	return rt != nil && (rt.Metrics != nil || rt.Journal != nil || rt.Trace != nil || rt.Publish != nil)
+}
+
+// Event records one structured event in the journal and forwards it to the
+// live publisher, if any. Components use this for the low-rate lifecycle
+// events a monitor subscriber cares about (associations, deploys,
+// promotions); high-rate noise like per-frame loss goes straight to the
+// journal.
+func (rt *Runtime) Event(at time.Duration, typ, actor, detail string) {
+	if rt == nil {
+		return
+	}
+	rt.Journal.Record(at, typ, actor, detail)
+	if rt.Publish != nil {
+		rt.Publish.PublishEvent(Event{At: at, Type: typ, Actor: actor, Detail: detail})
+	}
 }

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitises a metric or label name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (label names additionally forbid ':'; callers
+// pass allowColon=false for those). Invalid runes become '_'; a leading
+// digit gains a '_' prefix.
+func promName(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0) || (allowColon && r == ':')
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders a canonical "k=v,k=v" label string as a Prometheus
+// label block `{k="v",k="v"}` with extra pairs appended. Returns "" when
+// there is nothing to render.
+func promLabels(canon string, extra ...string) string {
+	var parts []string
+	if canon != "" {
+		for _, pair := range strings.Split(canon, ",") {
+			k, v := pair, ""
+			if i := strings.IndexByte(pair, '='); i >= 0 {
+				k, v = pair[:i], pair[i+1:]
+			}
+			parts = append(parts, promName(k, false)+`="`+promEscape(v)+`"`)
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, promName(extra[i], false)+`="`+promEscape(extra[i+1])+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat renders a sample value; Prometheus spells infinities +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE block per metric family,
+// label values escaped, histograms expanded into cumulative _bucket series
+// plus _sum and _count. The snapshot's (name, labels) ordering keeps every
+// family contiguous, as the format requires, and makes the output
+// byte-deterministic for equal snapshots.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	prevFamily := ""
+	for _, p := range s {
+		name := promName(p.Name, true)
+		if name != prevFamily {
+			prevFamily = name
+			typ := p.Kind
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				typ = "untyped"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s cityhunter %s %s\n# TYPE %s %s\n",
+				name, typ, name, name, typ); err != nil {
+				return fmt.Errorf("obs: write prometheus: %w", err)
+			}
+		}
+		var err error
+		if p.Kind == "histogram" {
+			err = writePromHistogram(w, name, p)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %s\n", name, promLabels(p.Labels), promFloat(p.Value))
+		}
+		if err != nil {
+			return fmt.Errorf("obs: write prometheus: %w", err)
+		}
+	}
+	return nil
+}
+
+// writePromHistogram expands one histogram point into cumulative buckets
+// (the snapshot stores per-bucket counts), _sum and _count.
+func writePromHistogram(w io.Writer, name string, p MetricPoint) error {
+	cum := int64(0)
+	for _, b := range p.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = promFloat(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, promLabels(p.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if len(p.Buckets) == 0 || !math.IsInf(p.Buckets[len(p.Buckets)-1].UpperBound, 1) {
+		// Every conformant histogram ends on +Inf; synthesise it if the
+		// source had no explicit overflow bucket.
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, promLabels(p.Labels, "le", "+Inf"), p.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(p.Labels), promFloat(p.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(p.Labels), p.Count)
+	return err
+}
+
+// Relabel returns a copy of the snapshot with extra label pairs merged into
+// every point (later pairs win on duplicate keys) and the result re-sorted
+// by (name, labels). Publishers use it to stamp run and site identity onto
+// a run's metrics before merging many runs into one exposition.
+func (s Snapshot) Relabel(extra ...string) Snapshot {
+	if len(extra) == 0 {
+		return s
+	}
+	out := make(Snapshot, len(s))
+	copy(out, s)
+	for i := range out {
+		out[i].Labels = MergeLabels(out[i].Labels, extra...)
+	}
+	out.Sort()
+	return out
+}
+
+// Sort orders the snapshot by (name, labels) — the invariant Registry
+// snapshots already hold and WritePrometheus depends on.
+func (s Snapshot) Sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Name != s[j].Name {
+			return s[i].Name < s[j].Name
+		}
+		return s[i].Labels < s[j].Labels
+	})
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus checks the exposition end to end: HELP/TYPE per
+// family, label escaping, cumulative histogram buckets with a +Inf
+// terminator, and _sum/_count companions.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_sent", "site", "canteen").Add(3)
+	reg.Counter("frames_sent", "site", "mall \"west\"\n").Inc()
+	reg.Gauge("promoted_now").Set(2.5)
+	h := reg.Histogram("latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE frames_sent counter",
+		"# TYPE promoted_now gauge",
+		"# TYPE latency_seconds histogram",
+		`frames_sent{site="canteen"} 3`,
+		`frames_sent{site="mall \"west\"\n"} 1`,
+		"promoted_now 2.5",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// One HELP/TYPE pair per family, even with two frames_sent series.
+	if n := strings.Count(out, "# TYPE frames_sent "); n != 1 {
+		t.Errorf("frames_sent declared %d times, want 1", n)
+	}
+}
+
+// TestRelabel stamps identity labels onto a snapshot the way the monitor
+// does per run, and checks later pairs win over earlier ones.
+func TestRelabel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits", "site", "canteen").Inc()
+	reg.Counter("plain").Inc()
+
+	snap := reg.Snapshot().Relabel("run", "run-1", "site", "override")
+	if v := snap.Value("hits", "run", "run-1", "site", "override"); v != 1 {
+		t.Fatalf("relabelled hits = %v, want 1 (snapshot %v)", v, snap)
+	}
+	if v := snap.Value("plain", "run", "run-1", "site", "override"); v != 1 {
+		t.Fatalf("relabelled plain = %v, want 1 (identity labels stamp every point)", v)
+	}
+}
+
+// TestMergeLabels covers the canonical merge both ways round.
+func TestMergeLabels(t *testing.T) {
+	cases := []struct {
+		canon string
+		extra []string
+		want  string
+	}{
+		{"", []string{"a", "1"}, "a=1"},
+		{"a=1", nil, "a=1"},
+		{"b=2", []string{"a", "1"}, "a=1,b=2"},
+		{"a=1", []string{"a", "2"}, "a=2"},
+	}
+	for _, c := range cases {
+		if got := MergeLabels(c.canon, c.extra...); got != c.want {
+			t.Errorf("MergeLabels(%q, %v) = %q, want %q", c.canon, c.extra, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// RunInfo identifies a run to a Publisher: what kind of work it is and the
+// labels the monitor should stamp on everything the run reports.
+type RunInfo struct {
+	// Kind classifies the run: "run", "deployment" or "campaign".
+	Kind string `json:"kind"`
+	// Label is a human-readable name ("canteen/City-Hunter/seed1").
+	Label string `json:"label,omitempty"`
+	// Labels are extra identity pairs merged into every published metric
+	// (attack strategy, venue, seed, ...).
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Publisher receives live telemetry from runs. Implementations must be safe
+// for concurrent StartRun calls: campaign workers register their runs in
+// parallel. The monitor server is the canonical implementation; tests may
+// supply their own.
+type Publisher interface {
+	// StartRun registers a new run and returns the sink it publishes into.
+	StartRun(info RunInfo) RunPublisher
+}
+
+// RunPublisher is one run's telemetry sink. A run publishes from a single
+// goroutine, but distinct runs publish concurrently, so implementations
+// shard their state per run (see ShardedJournal).
+type RunPublisher interface {
+	// PublishSnapshot delivers the registry state as of virtual time at.
+	PublishSnapshot(at time.Duration, snap Snapshot)
+	// PublishEvent delivers one structured run event.
+	PublishEvent(ev Event)
+	// FinishRun marks the run complete; err is nil on success.
+	FinishRun(at time.Duration, err error)
+}

@@ -7,23 +7,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready to
-// use; methods on a nil *Counter are no-ops.
-type Counter struct{ v int64 }
+// use; methods on a nil *Counter are no-ops. Counters are safe for
+// concurrent use: campaign workers and the monitor's scrape path may touch
+// the same handle.
+type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n (negative deltas are ignored: counters only go up).
 func (c *Counter) Add(n int64) {
 	if c != nil && n > 0 {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -32,23 +35,33 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a point-in-time value. Methods on a nil *Gauge are no-ops.
-type Gauge struct{ v float64 }
+// Gauge is a point-in-time value stored as atomic float bits, so it too can
+// be read mid-run by a scraper. Methods on a nil *Gauge are no-ops.
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
 // SetMax stores v only if it exceeds the current value — a high-water mark.
 func (g *Gauge) SetMax(v float64) {
-	if g != nil && v > g.v {
-		g.v = v
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
 }
 
@@ -57,13 +70,16 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram is a fixed-bucket distribution. An observation lands in the
 // first bucket whose upper bound is >= the value; larger values land in the
-// implicit +Inf overflow bucket. Methods on a nil *Histogram are no-ops.
+// implicit +Inf overflow bucket. Observations take a per-histogram mutex
+// (sum and bucket must move together); methods on a nil *Histogram are
+// no-ops.
 type Histogram struct {
+	mu     sync.Mutex
 	bounds []float64
 	counts []int64 // len(bounds)+1; last is +Inf
 	sum    float64
@@ -75,6 +91,8 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.sum += v
 	h.n++
 	for i, b := range h.bounds {
@@ -86,11 +104,29 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[len(h.bounds)]++
 }
 
+// snapshot copies the distribution under one lock so sum, count and bucket
+// counts are mutually consistent.
+func (h *Histogram) snapshot() (sum float64, n int64, buckets []BucketCount) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets = make([]BucketCount, len(h.counts))
+	for i, c := range h.counts {
+		ub := inf
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		buckets[i] = BucketCount{UpperBound: ub, Count: c}
+	}
+	return h.sum, h.n, buckets
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
 }
 
@@ -99,6 +135,8 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
@@ -138,7 +176,8 @@ type metricEntry struct {
 // Registry hands out metrics keyed by name plus label pairs and snapshots
 // them in deterministic order. Lookups take a lock (they happen at
 // instrumentation time); the returned Counter/Gauge/Histogram handles are
-// unsynchronized, matching the single-threaded discrete-event engine.
+// themselves safe for concurrent use, so a live monitor can snapshot the
+// registry while the run — or many campaign workers — keep writing.
 // Methods on a nil *Registry return nil handles, whose methods are no-ops.
 type Registry struct {
 	mu      sync.Mutex
@@ -237,26 +276,59 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 // BucketCount is one histogram bucket in a snapshot. UpperBound is +Inf for
 // the overflow bucket.
 type BucketCount struct {
-	UpperBound float64
-	Count      int64
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
 }
 
 // MetricPoint is one metric in a snapshot.
 type MetricPoint struct {
 	// Name and Labels identify the metric; Labels is the canonical
 	// "k=v,k=v" form.
-	Name   string
-	Labels string
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
 	// Kind is "counter", "gauge" or "histogram".
-	Kind string
+	Kind string `json:"kind"`
 	// Value is the counter or gauge value; for histograms it is the sum of
 	// observations.
-	Value float64
+	Value float64 `json:"value"`
 	// Count is the number of observations (histograms only).
-	Count int64
+	Count int64 `json:"count,omitempty"`
 	// Buckets holds the cumulative-free per-bucket counts (histograms
 	// only).
-	Buckets []BucketCount
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// MergeLabels merges extra alternating key, value pairs into a canonical
+// label string, re-canonicalising the result. Later values win on duplicate
+// keys, so a publisher can stamp run/site identity over whatever the run
+// recorded. An empty result stays "".
+func MergeLabels(canon string, extra ...string) string {
+	if len(extra) == 0 {
+		return canon
+	}
+	merged := make(map[string]string)
+	order := make([]string, 0, 4)
+	add := func(k, v string) {
+		if _, ok := merged[k]; !ok {
+			order = append(order, k)
+		}
+		merged[k] = v
+	}
+	if canon != "" {
+		for _, pair := range strings.Split(canon, ",") {
+			if i := strings.IndexByte(pair, '='); i >= 0 {
+				add(pair[:i], pair[i+1:])
+			}
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		add(extra[i], extra[i+1])
+	}
+	flat := make([]string, 0, 2*len(order))
+	for _, k := range order {
+		flat = append(flat, k, merged[k])
+	}
+	return canonLabels(flat)
 }
 
 // Snapshot is an ordered dump of a registry. Equal registries produce
@@ -290,16 +362,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindGauge:
 			p.Value = e.gauge.Value()
 		case kindHistogram:
-			p.Value = e.hist.Sum()
-			p.Count = e.hist.Count()
-			p.Buckets = make([]BucketCount, len(e.hist.counts))
-			for i, c := range e.hist.counts {
-				ub := inf
-				if i < len(e.hist.bounds) {
-					ub = e.hist.bounds[i]
-				}
-				p.Buckets[i] = BucketCount{UpperBound: ub, Count: c}
-			}
+			p.Value, p.Count, p.Buckets = e.hist.snapshot()
 		}
 		out = append(out, p)
 	}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines — the
+// scrape path (Snapshot) racing the write path (Inc/Set/SetMax/Observe) and
+// the lazy lookup path (Counter/Gauge/Histogram on fresh label sets). Run
+// under -race this is the proof the monitor can scrape a live run.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	g := reg.Gauge("level")
+	h := reg.Histogram("lat", []float64{1, 10})
+
+	const writers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := []string{"site", string(rune('a' + w))}
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				g.SetMax(float64(i))
+				h.Observe(float64(i % 20))
+				reg.Counter("hits", site...).Inc()
+				if i%100 == 0 {
+					reg.Histogram("lat", []float64{1, 10}, site...).Observe(1)
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapers, like a Prometheus server polling mid-run.
+	done := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					snap := reg.Snapshot()
+					_ = snap.Value("hits")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapes.Wait()
+
+	snap := reg.Snapshot()
+	if v := snap.Value("hits"); v != writers*iters {
+		t.Fatalf("hits = %v, want %d", v, writers*iters)
+	}
+	p, ok := snap.Get("lat")
+	if !ok || p.Count != writers*iters {
+		t.Fatalf("lat count = %+v, want %d observations", p, writers*iters)
+	}
+}
+
+// TestGaugeSetMax checks the CAS loop keeps the maximum under contention.
+func TestGaugeSetMax(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("peak")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := g.Value(); v != 7999 {
+		t.Fatalf("peak = %v, want 7999", v)
+	}
+}

@@ -1,0 +1,69 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanPage = `# HELP hits cityhunter counter hits
+# TYPE hits counter
+hits{site="canteen"} 3
+hits{site="mall \"west\"\n"} 1
+# HELP level cityhunter gauge level
+# TYPE level gauge
+level 2.5
+# HELP lat cityhunter histogram lat
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="1"} 2
+lat_bucket{le="+Inf"} 3
+lat_sum 5.55
+lat_count 3
+`
+
+func TestLintClean(t *testing.T) {
+	probs, err := Lint(strings.NewReader(cleanPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("clean page flagged: %s", p)
+	}
+}
+
+func TestLintProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string // substring of the expected problem
+	}{
+		{"duplicate series", "# TYPE a counter\na 1\na 2\n", "duplicate series"},
+		{"no type", "a{x=\"1\"} 1\n", "no # TYPE"},
+		{"bad type", "# TYPE a countr\na 1\n", "unknown type"},
+		{"double help", "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n", "second # HELP"},
+		{"type after sample", "# TYPE a counter\na 1\n# TYPE a gauge\n", "after its first sample"},
+		{"bad name", "1abc 1\n", "invalid metric name"},
+		{"bad value", "# TYPE a counter\na one\n", "unparseable value"},
+		{"unquoted label", "# TYPE a counter\na{x=1} 1\n", "not quoted"},
+		{"bad escape", "# TYPE a counter\na{x=\"\\t\"} 1\n", "invalid escape"},
+		{"declared unsampled", "# TYPE a counter\n", "never sampled"},
+		{"no inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "no +Inf bucket"},
+		{"non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "not cumulative"},
+		{"bucket missing le", "# TYPE h histogram\nh_bucket{x=\"1\"} 1\n", "missing the le label"},
+	}
+	for _, c := range cases {
+		probs, err := Lint(strings.NewReader(c.page))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p.Msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: problems %v do not mention %q", c.name, probs, c.want)
+		}
+	}
+}

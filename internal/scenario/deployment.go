@@ -187,6 +187,10 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 	if err != nil {
 		return nil, err
 	}
+	// Deployments label per-site instrumentation so a live monitor can
+	// tell co-resident attackers apart; single-venue runs never do, which
+	// keeps their metric dumps byte-stable.
+	env.labelSites = true
 
 	// Knowledge layer: one strategy set per site, or one for all.
 	sets := make([]strategySet, len(dcfg.Sites))
@@ -228,6 +232,10 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 			return nil, err
 		}
 	}
+	feed := startFeed(env, "deployment", slot, sites, map[string]string{
+		"knowledge": dcfg.Knowledge.String(),
+		"sites":     fmt.Sprintf("%d", len(sites)),
+	})
 	scheduleSampling(env, sites)
 	if dcfg.Knowledge == PeriodicSync {
 		scheduleKnowledgeSync(env, sites, syncEvery)
@@ -309,6 +317,7 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 		dres.Journal = env.rt.Journal
 		dres.Spans = env.rt.Trace
 	}
+	feed.finish(simulated, runErr)
 	if runErr != nil {
 		return dres, fmt.Errorf("scenario: deployment cancelled after %v of %v: %w",
 			simulated, duration, runErr)

@@ -22,6 +22,30 @@ type runEnv struct {
 	medium *sim.Medium
 	rt     *obs.Runtime
 	model  *pnl.Model
+
+	// labelSites makes per-site instrumentation stamp a "site" label on
+	// its metric series. Deployments set it so a live monitor can tell N
+	// co-resident attackers apart; single-venue runs leave it off to keep
+	// their metric dumps byte-stable.
+	labelSites bool
+}
+
+// siteLabels returns the label pairs for one site's metric series — empty
+// unless this environment labels sites.
+func (env *runEnv) siteLabels(venueName string) []string {
+	if !env.labelSites {
+		return nil
+	}
+	return []string{"site", venueName}
+}
+
+// siteMetricLabel is the scalar form of siteLabels for components that take
+// one optional site name.
+func siteMetricLabel(env *runEnv, venueName string) string {
+	if !env.labelSites {
+		return ""
+	}
+	return venueName
 }
 
 // normalized validates the population and radio knobs and fills defaults.
@@ -69,13 +93,18 @@ func newRunEnv(cfg Config, radioRange float64) (*runEnv, error) {
 	// Observability: one runtime feeds every instrumented layer. It never
 	// consumes run randomness, so enabling it cannot perturb a seed.
 	var rt *obs.Runtime
-	if cfg.Metrics || cfg.FlightRecorderCap > 0 || cfg.SpanTrace {
+	if cfg.Metrics || cfg.FlightRecorderCap > 0 || cfg.SpanTrace || cfg.Publisher != nil {
 		rt = &obs.Runtime{}
-		if cfg.Metrics {
+		if cfg.Metrics || cfg.Publisher != nil {
+			// A live publisher needs the registry even when the caller did
+			// not ask for a post-run snapshot.
 			rt.Metrics = obs.NewRegistry()
 		}
 		if cfg.FlightRecorderCap > 0 {
 			rt.Journal = obs.NewJournal(cfg.FlightRecorderCap)
+			// Surface ring overwrites on the live registry, not only in
+			// Journal.Dropped after the run.
+			rt.Journal.Overflow = rt.Metrics.Counter("obs_journal_overwritten_events")
 		}
 		if cfg.SpanTrace {
 			rt.Trace = obs.NewTrace()

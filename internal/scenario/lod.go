@@ -11,6 +11,7 @@ import (
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
 	"cityhunter/internal/mobility"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/stats"
 )
 
@@ -201,6 +202,13 @@ type tierManager struct {
 	promotions   int
 	demotions    int
 	siteStats    []FarFieldSite
+
+	// Live registry handles (all nil-safe no-ops when observability is
+	// off) so a monitor sees the tier churn as it happens.
+	mPromotions []*obs.Counter // per site
+	mDemotions  *obs.Counter
+	gPromoted   *obs.Gauge
+	gPeak       *obs.Gauge
 }
 
 func newTierManager(env *runEnv, cfg FarFieldConfig, sites []*site) (*tierManager, error) {
@@ -213,6 +221,15 @@ func newTierManager(env *runEnv, cfg FarFieldConfig, sites []*site) (*tierManage
 		tm.grid.Insert(int32(i), st.venue.Position)
 		tm.sitePos = append(tm.sitePos, st.venue.Position)
 		tm.siteStats = append(tm.siteStats, FarFieldSite{Name: st.venue.Name})
+	}
+	if env.rt != nil {
+		for _, st := range sites {
+			tm.mPromotions = append(tm.mPromotions,
+				env.rt.Metrics.Counter("lod_promotions", env.siteLabels(st.venue.Name)...))
+		}
+		tm.mDemotions = env.rt.Metrics.Counter("lod_demotions")
+		tm.gPromoted = env.rt.Metrics.Gauge("lod_promoted_now")
+		tm.gPeak = env.rt.Metrics.Gauge("lod_promoted_peak")
 	}
 	return tm, nil
 }
@@ -378,6 +395,13 @@ func (tm *tierManager) promote(p *pedestrian, w promoWindow) {
 	if tm.promotedNow > tm.peakPromoted {
 		tm.peakPromoted = tm.promotedNow
 	}
+	if tm.env.rt != nil {
+		tm.mPromotions[w.site].Inc()
+		tm.gPromoted.Set(float64(tm.promotedNow))
+		tm.gPeak.SetMax(float64(tm.peakPromoted))
+		tm.env.rt.Event(now, obs.EventPromotion, p.mac.String(),
+			"promoted near "+tm.sites[w.site].venue.Name)
+	}
 	tm.driveMovement(p)
 }
 
@@ -395,6 +419,12 @@ func (tm *tierManager) demote(p *pedestrian) {
 	p.lastDemote = tm.env.engine.Now()
 	tm.demotions++
 	tm.promotedNow--
+	if tm.env.rt != nil {
+		tm.mDemotions.Inc()
+		tm.gPromoted.Set(float64(tm.promotedNow))
+		tm.env.rt.Event(p.lastDemote, obs.EventDemotion, p.mac.String(),
+			"suspended to far-field tier")
+	}
 }
 
 // driveMovement walks a promoted client along its route, 2 s steps like

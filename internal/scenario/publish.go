@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"cityhunter/internal/obs"
+)
+
+// DefaultPublishEvery is the virtual-time cadence between published metric
+// snapshots when Config.PublishEvery is zero. Five virtual seconds keeps a
+// one-hour run under a thousand snapshots while the time-series the paper
+// plots (hit counts, association counts) stay smooth.
+const DefaultPublishEvery = 5 * time.Second
+
+// runFeed couples a registered run's publisher handle with the engine
+// cadence driving it.
+type runFeed struct {
+	rp  obs.RunPublisher
+	env *runEnv
+}
+
+// startFeed registers the run with the configured publisher (nil-safe: no
+// publisher, no feed), announces its sites, and arms the virtual-time
+// snapshot tick. The tick is an ordinary engine event that only reads the
+// registry — it consumes no randomness and mutates no simulation state, so
+// a published run is event-for-event identical to an unpublished one.
+func startFeed(env *runEnv, kind string, slot int, sites []*site, extra map[string]string) *runFeed {
+	cfg := env.cfg
+	if cfg.Publisher == nil {
+		return nil
+	}
+	labels := map[string]string{
+		"attack": cfg.Attack.String(),
+		"seed":   fmt.Sprintf("%d", cfg.Seed),
+	}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	label := cfg.RunLabel
+	if label == "" {
+		if len(sites) == 1 {
+			label = fmt.Sprintf("%s/%s/slot%d", sites[0].venue.Name, cfg.Attack, slot)
+		} else {
+			label = fmt.Sprintf("%d sites/%s/slot%d", len(sites), cfg.Attack, slot)
+		}
+	}
+	rp := cfg.Publisher.StartRun(obs.RunInfo{Kind: kind, Label: label, Labels: labels})
+	env.rt.Publish = rp
+	for _, st := range sites {
+		env.rt.Event(0, obs.EventSiteDeploy, st.venue.Name,
+			fmt.Sprintf("attacker %s at (%.0f,%.0f)", st.id.attackerMAC, st.venue.Position.X, st.venue.Position.Y))
+	}
+	every := cfg.PublishEvery
+	if every <= 0 {
+		every = DefaultPublishEvery
+	}
+	env.engine.Every(0, every, func() {
+		rp.PublishSnapshot(env.engine.Now(), env.rt.Metrics.Snapshot())
+	})
+	return &runFeed{rp: rp, env: env}
+}
+
+// finish publishes the end-of-run snapshot — which now includes the
+// runner-level tallies emitRunTelemetry just recorded — and closes the run
+// on the monitor. Nil-safe.
+func (f *runFeed) finish(simulated time.Duration, runErr error) {
+	if f == nil {
+		return
+	}
+	f.rp.PublishSnapshot(simulated, f.env.rt.Metrics.Snapshot())
+	f.rp.FinishRun(simulated, runErr)
+}

@@ -127,6 +127,17 @@ type Config struct {
 	ArrivalScale float64
 	// SampleEvery sets the engine state-sampling period (0 disables).
 	SampleEvery time.Duration
+	// Publisher, when set, streams live telemetry into a monitor: periodic
+	// metric snapshots on the virtual clock plus structured run events. It
+	// forces the metrics registry on. Publishing is read-only and consumes
+	// no run randomness, so seeded results are unchanged.
+	Publisher obs.Publisher
+	// PublishEvery is the virtual-time cadence between published
+	// snapshots; 0 selects DefaultPublishEvery.
+	PublishEvery time.Duration
+	// RunLabel names the run on the monitor; empty derives
+	// "venue/attack/slotN".
+	RunLabel string
 	// Seed drives all randomness in the run.
 	Seed int64
 }
@@ -251,7 +262,9 @@ func RunContext(ctx context.Context, cfg Config, slot int, duration time.Duratio
 	}
 	sites := []*site{st}
 
-	// Periodic engine sampling for the time-series figures.
+	// Live telemetry feed (no-op without a publisher) and periodic engine
+	// sampling for the time-series figures.
+	feed := startFeed(env, "run", slot, sites, nil)
 	scheduleSampling(env, sites)
 
 	// Arrivals for this slot only; offsets are measured from slot start.
@@ -277,6 +290,7 @@ func RunContext(ctx context.Context, cfg Config, slot int, duration time.Duratio
 		emitRunTelemetry(env.rt, env, pop, res)
 		attachObservability(env.rt, res)
 	}
+	feed.finish(simulated, runErr)
 	if runErr != nil {
 		return res, fmt.Errorf("scenario: run cancelled after %v of %v: %w",
 			simulated, duration, runErr)

@@ -156,6 +156,7 @@ func deploySite(env *runEnv, venue Venue, id siteIdentity, set strategySet) (*si
 		Pos:                 venue.Position,
 		Channel:             6,
 		Obs:                 env.rt,
+		Site:                siteMetricLabel(env, venue.Name),
 		MaxBroadcastReplies: maxReplies,
 		RespondToDirect:     respondToDirect,
 		CautiousMirror:      cfg.CautiousMirror,
@@ -203,12 +204,14 @@ func deploySite(env *runEnv, venue Venue, id siteIdentity, set strategySet) (*si
 			monitor.MaxEntries = 1 << 20
 		}
 		if env.rt != nil {
-			journal := env.rt.Journal
+			rt := env.rt
 			engine := env.engine
 			monitor.OnFirstDrop = func() {
-				journal.Record(engine.Now(), obs.EventTraceDrop, "trace-monitor",
+				rt.Event(engine.Now(), obs.EventTraceDrop, "trace-monitor",
 					fmt.Sprintf("capture reached its %d-entry cap; subsequent frames dropped", monitor.MaxEntries))
 			}
+			monitor.DropCounter = rt.Metrics.Counter("trace_monitor_dropped_frames",
+				env.siteLabels(venue.Name)...)
 		}
 		if err := env.medium.AttachPromiscuous(monitor); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)

@@ -16,6 +16,7 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
 	"cityhunter/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Monitor struct {
 	// dropped after the capture reaches MaxEntries — so callers can flag
 	// that the capture is truncated rather than complete.
 	OnFirstDrop func()
+	// DropCounter, when set, counts every dropped frame into the metrics
+	// registry, so a live /metrics scrape sees the capture truncating as
+	// it happens instead of only in the post-run Result.
+	DropCounter *obs.Counter
 }
 
 var _ sim.Station = (*Monitor)(nil)
@@ -70,6 +75,7 @@ func (m *Monitor) Pos() geo.Point { return m.pos }
 func (m *Monitor) Receive(f *ieee80211.Frame) {
 	if m.MaxEntries > 0 && len(m.entries) >= m.MaxEntries {
 		m.Dropped++
+		m.DropCounter.Inc()
 		if m.Dropped == 1 && m.OnFirstDrop != nil {
 			m.OnFirstDrop()
 		}
