@@ -40,8 +40,10 @@ import (
 	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/obs/monitor"
+	"cityhunter/internal/plan"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/scenario"
+	"cityhunter/internal/serve"
 	"cityhunter/internal/stats"
 	"cityhunter/internal/trace"
 	"cityhunter/internal/wigle"
@@ -186,8 +188,14 @@ var (
 // cmd/cityhunter-sim's -venue-file flag).
 var (
 	// SaveVenue writes a venue as JSON.
+	//
+	// Deprecated: prefer SavePlan with a KindVenue Plan; this writer is
+	// kept for compatibility and emits byte-identical output.
 	SaveVenue = scenario.SaveVenue
 	// LoadVenue reads and validates a venue written by SaveVenue.
+	//
+	// Deprecated: prefer LoadPlan; this reader stays for existing
+	// standalone venue files.
 	LoadVenue = scenario.LoadVenue
 )
 
@@ -197,8 +205,14 @@ var (
 // cmd/cityhunter-sim's -deployment flag).
 var (
 	// SaveDeployment writes a deployment plan as JSON.
+	//
+	// Deprecated: prefer SavePlan with a KindDeployment Plan; this writer
+	// is kept for compatibility and emits byte-identical output.
 	SaveDeployment = scenario.SaveDeployment
 	// LoadDeployment reads and validates a plan written by SaveDeployment.
+	//
+	// Deprecated: prefer LoadPlan; this reader stays for existing
+	// standalone deployment files.
 	LoadDeployment = scenario.LoadDeployment
 	// DefaultTransit returns the urban walking-speed transit model.
 	DefaultTransit = mobility.DefaultTransit
@@ -210,11 +224,60 @@ var (
 // flag). RunSpec.Configure hooks are programmatic-only and not serialised.
 var (
 	// SaveCampaign writes run specs as JSON.
+	//
+	// Deprecated: prefer SavePlan with a KindCampaign Plan; this writer is
+	// kept for compatibility and emits byte-identical output.
 	SaveCampaign = campaign.Save
 	// LoadCampaign reads and validates specs written by SaveCampaign (or
 	// hand-written: venues may be referenced by built-in name). Errors
 	// name the offending run and field.
+	//
+	// Deprecated: prefer LoadPlan; this reader stays for existing
+	// standalone campaign files.
 	LoadCampaign = campaign.Load
+)
+
+// Plan persistence: the versioned envelope that unifies the three
+// standalone formats. A Plan declares its kind (venue, deployment or
+// campaign) and carries exactly that payload; files round-trip through
+// SavePlan/LoadPlan with strict unknown-field rejection end to end, and
+// the campaign server accepts only this envelope.
+type (
+	// Plan is the versioned envelope: Version, Kind, and the one payload
+	// matching the kind.
+	Plan = plan.Plan
+	// PlanKind names a plan's payload: KindVenue, KindDeployment or
+	// KindCampaign.
+	PlanKind = plan.Kind
+	// FieldError is a validation failure annotated with the offending
+	// field's path — the structure behind the campaign server's 400
+	// responses. Its message is the bare reason, so wrapped errors read
+	// the same as they always have.
+	FieldError = scenario.FieldError
+)
+
+// Plan kinds.
+const (
+	// KindVenue plans carry a single venue.
+	KindVenue = plan.KindVenue
+	// KindDeployment plans carry a multi-site deployment.
+	KindDeployment = plan.KindDeployment
+	// KindCampaign plans carry a list of run specs.
+	KindCampaign = plan.KindCampaign
+)
+
+// Plan envelope I/O, re-exported.
+var (
+	// SavePlan writes a plan envelope as indented JSON.
+	SavePlan = plan.Save
+	// LoadPlan reads and validates a plan envelope, rejecting unknown
+	// fields everywhere (including inside the payload).
+	LoadPlan = plan.Load
+	// EncodePlan renders a plan in its canonical compact form — the exact
+	// bytes the campaign server hashes for its result store.
+	EncodePlan = plan.Encode
+	// DecodePlan parses the canonical or indented envelope form.
+	DecodePlan = plan.Decode
 )
 
 // Venue constructors, re-exported.
@@ -745,4 +808,48 @@ func (w *World) RunDeployment(ctx context.Context, dcfg DeploymentConfig, kind A
 		return res, fmt.Errorf("cityhunter: %w", err)
 	}
 	return res, nil
+}
+
+// Campaign server, re-exported: a long-running HTTP/JSON job API that
+// accepts plan envelopes, runs them on a shared bounded campaign pool,
+// streams progress over SSE, and persists results in a content-addressed
+// store so identical resubmission is a cache hit and cancelled campaigns
+// resume from their completed specs. See cmd/cityhunter-server.
+type (
+	// CampaignServer is the job server. Build one with NewCampaignServer
+	// (or serve.New for full control over world construction).
+	CampaignServer = serve.Server
+	// CampaignServerConfig configures a CampaignServer.
+	CampaignServerConfig = serve.Config
+	// JobStatus is the JSON shape of a job on the API.
+	JobStatus = serve.JobStatus
+	// JobResult is a job's final durable result document.
+	JobResult = serve.Result
+)
+
+// NewCampaignServer builds a job server whose runs execute against worlds
+// generated on demand: the first job with a given seed pays the world
+// generation cost, later jobs with the same seed share it. cfg.BaseConfig
+// may be left nil (it is filled with that default); cfg.StoreDir is
+// required.
+func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
+	if cfg.BaseConfig == nil {
+		var mu sync.Mutex
+		worlds := map[int64]*World{}
+		cfg.BaseConfig = func(seed int64) (scenario.Config, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			w, ok := worlds[seed]
+			if !ok {
+				var err error
+				w, err = NewWorld(WithSeed(seed))
+				if err != nil {
+					return scenario.Config{}, err
+				}
+				worlds[seed] = w
+			}
+			return w.baseRunConfig(), nil
+		}
+	}
+	return serve.New(cfg)
 }

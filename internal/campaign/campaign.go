@@ -94,7 +94,25 @@ type Pool struct {
 	// Label names the campaign on the monitor; empty derives "campaign
 	// (N specs)".
 	Label string
+	// Labels, when non-empty, is merged into the campaign run's monitor
+	// labels and into every spec run's labels (explicit per-run labels
+	// win). The job server uses it to scope metrics to a job id.
+	Labels map[string]string
+	// Completed, when non-nil, reports whether spec i already has a
+	// durable result; such specs are skipped (marked in Outcome.Skipped
+	// and Progress.Skipped, counted as done, never run). The job server
+	// uses it to resume a checkpointed campaign from its result store.
+	Completed func(i int) bool
+	// Drain, when non-nil and closed, stops dispatching new specs while
+	// letting in-flight runs finish. If any spec was left unstarted, Run
+	// returns ErrDrained alongside the partial outcome — the graceful
+	// SIGTERM path, distinct from hard ctx cancellation.
+	Drain <-chan struct{}
 }
+
+// ErrDrained reports that the pool's Drain channel was closed before every
+// spec was dispatched: in-flight specs finished, the rest never started.
+var ErrDrained = errors.New("campaign: drained before completion")
 
 // Progress reports one finished spec.
 type Progress struct {
@@ -107,6 +125,15 @@ type Progress struct {
 	// Done counts specs finished so far (including this one); Total is
 	// the campaign size.
 	Done, Total int
+	// Skipped marks a spec that was never run because Pool.Completed
+	// reported a durable result for it.
+	Skipped bool
+	// Result and Deployment carry the spec's result (one of them,
+	// matching the spec kind; both nil when the spec errored or was
+	// skipped) so checkpointing callbacks can persist it without waiting
+	// for the campaign to finish.
+	Result     *scenario.Result
+	Deployment *scenario.DeploymentResult
 }
 
 // Campaign is a set of runs over one world.
@@ -159,6 +186,10 @@ type Outcome struct {
 	Deployments []*scenario.DeploymentResult
 	// Errs holds each spec's error, in spec order.
 	Errs []error
+	// Skipped marks specs that Pool.Completed reported as already done;
+	// their Results/Deployments entries are nil and they do not
+	// contribute to the aggregate (the caller already has them).
+	Skipped []bool
 	// Completed counts error-free runs.
 	Completed int
 	// Aggregate is the deterministic summary over error-free runs
@@ -179,33 +210,8 @@ func (c *Campaign) Validate() error {
 		if name == "" {
 			name = fmt.Sprintf("run %d", i)
 		}
-		if s.Duration <= 0 {
-			return fmt.Errorf("campaign: spec %d (%s): duration %v must be positive", i, name, s.Duration)
-		}
-		if s.Deployment != nil {
-			if s.Venue.Name != "" {
-				return fmt.Errorf("campaign: spec %d (%s): venue and deployment are mutually exclusive", i, name)
-			}
-			if len(s.Deployment.Sites) == 0 {
-				return fmt.Errorf("campaign: spec %d (%s): deployment needs at least one site", i, name)
-			}
-			for _, v := range s.Deployment.Sites {
-				if s.Slot < 0 || s.Slot >= v.Profile.Slots() {
-					return fmt.Errorf("campaign: spec %d (%s): slot %d outside site %q profile (0..%d)",
-						i, name, s.Slot, v.Name, v.Profile.Slots()-1)
-				}
-			}
-		} else {
-			if s.Venue.Name == "" {
-				return fmt.Errorf("campaign: spec %d (%s): venue is required", i, name)
-			}
-			if s.Slot < 0 || s.Slot >= s.Venue.Profile.Slots() {
-				return fmt.Errorf("campaign: spec %d (%s): slot %d outside venue profile (0..%d)",
-					i, name, s.Slot, s.Venue.Profile.Slots()-1)
-			}
-		}
-		if s.Attack.String() == "unknown attack" {
-			return fmt.Errorf("campaign: spec %d (%s): unknown attack kind %d", i, name, int(s.Attack))
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("campaign: spec %d (%s): %w", i, name, err)
 		}
 	}
 	return nil
@@ -255,6 +261,18 @@ func (c *Campaign) config(i int) scenario.Config {
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
+	if len(c.Pool.Labels) > 0 {
+		// Job-scoped labels ride along on every spec's run; explicit
+		// per-run labels (Base or Configure) win on conflict.
+		merged := make(map[string]string, len(c.Pool.Labels)+len(cfg.RunLabels))
+		for k, v := range c.Pool.Labels {
+			merged[k] = v
+		}
+		for k, v := range cfg.RunLabels {
+			merged[k] = v
+		}
+		cfg.RunLabels = merged
+	}
 	if c.Pool.Publisher != nil && cfg.Publisher == nil {
 		// Each spec's run registers itself on the campaign's monitor; an
 		// explicit per-run publisher set via Base or Configure wins.
@@ -303,6 +321,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 		Results:     make([]*scenario.Result, n),
 		Deployments: make([]*scenario.DeploymentResult, n),
 		Errs:        make([]error, n),
+		Skipped:     make([]bool, n),
 	}
 	var (
 		mu       sync.Mutex
@@ -311,6 +330,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 		done     int
 		failures int
 		failed   bool
+		drained  bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -322,8 +342,33 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 					mu.Unlock()
 					return
 				}
+				if c.Pool.Drain != nil {
+					select {
+					case <-c.Pool.Drain:
+						drained = true
+						mu.Unlock()
+						return
+					default:
+					}
+				}
 				i := next
 				next++
+				if c.Pool.Completed != nil && c.Pool.Completed(i) {
+					// Durable result already exists: count the spec done
+					// without running it. The caller holds the result, so
+					// the outcome just marks the slot.
+					out.Skipped[i] = true
+					done++
+					feed.specSkipped(i, c.Specs[i].Name, done)
+					if c.Pool.OnProgress != nil {
+						c.Pool.OnProgress(Progress{
+							Index: i, Name: c.Specs[i].Name,
+							Skipped: true, Done: done, Total: n,
+						})
+					}
+					mu.Unlock()
+					continue
+				}
 				mu.Unlock()
 
 				cfg := c.config(i)
@@ -362,6 +407,7 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 					c.Pool.OnProgress(Progress{
 						Index: i, Name: c.Specs[i].Name,
 						Err: err, Done: done, Total: n,
+						Result: res, Deployment: dep,
 					})
 				}
 				mu.Unlock()
@@ -372,6 +418,9 @@ func (c *Campaign) Run(ctx context.Context) (*Outcome, error) {
 
 	out.aggregate()
 	err := c.runError(ctx, out)
+	if err == nil && drained && next < n {
+		err = ErrDrained
+	}
 	feed.finish(err)
 	if err != nil {
 		return out, err
@@ -405,37 +454,50 @@ func (c *Campaign) runError(ctx context.Context, out *Outcome) error {
 	return nil
 }
 
-// aggregate fills Outcome.Completed and Outcome.Aggregate from the
-// error-free runs, in spec order.
-func (o *Outcome) aggregate() {
+// AggregateTallies summarises per-run tallies, in order, exactly as a
+// campaign aggregates its error-free runs. Exported so callers that hold
+// durable per-spec results (the job server's resume path) can rebuild a
+// campaign aggregate that is byte-identical to an uninterrupted run.
+func AggregateTallies(tallies []stats.Tally) Aggregate {
 	var (
+		a          Aggregate
 		hitRates   []float64
 		bcastRates []float64
 		bcastHit   int
 		bcastN     int
 	)
-	for i, res := range o.Results {
-		var t stats.Tally
-		switch {
-		case o.Errs[i] != nil:
-			continue
-		case res != nil:
-			t = res.Tally
-		case i < len(o.Deployments) && o.Deployments[i] != nil:
-			t = o.Deployments[i].Tally
-		default:
-			continue
-		}
-		o.Completed++
-		o.Aggregate.TotalClients += t.Total
-		o.Aggregate.TotalVictims += t.ConnectedDirect + t.ConnectedBroadcast
+	for _, t := range tallies {
+		a.TotalClients += t.Total
+		a.TotalVictims += t.ConnectedDirect + t.ConnectedBroadcast
 		hitRates = append(hitRates, t.HitRate())
 		bcastRates = append(bcastRates, t.BroadcastHitRate())
 		bcastHit += t.ConnectedBroadcast
 		bcastN += t.Broadcast
 	}
-	o.Aggregate.Runs = o.Completed
-	o.Aggregate.HitRate = stats.SummarizeRates(hitRates)
-	o.Aggregate.BroadcastHitRate = stats.SummarizeRates(bcastRates)
-	o.Aggregate.BroadcastLo, o.Aggregate.BroadcastHi = stats.WilsonInterval(bcastHit, bcastN)
+	a.Runs = len(tallies)
+	a.HitRate = stats.SummarizeRates(hitRates)
+	a.BroadcastHitRate = stats.SummarizeRates(bcastRates)
+	a.BroadcastLo, a.BroadcastHi = stats.WilsonInterval(bcastHit, bcastN)
+	return a
+}
+
+// aggregate fills Outcome.Completed and Outcome.Aggregate from the
+// error-free runs, in spec order. Skipped specs do not contribute — the
+// caller that skipped them already holds their results.
+func (o *Outcome) aggregate() {
+	var tallies []stats.Tally
+	for i, res := range o.Results {
+		switch {
+		case o.Errs[i] != nil:
+			continue
+		case res != nil:
+			tallies = append(tallies, res.Tally)
+		case i < len(o.Deployments) && o.Deployments[i] != nil:
+			tallies = append(tallies, o.Deployments[i].Tally)
+		default:
+			continue
+		}
+	}
+	o.Completed = len(tallies)
+	o.Aggregate = AggregateTallies(tallies)
 }

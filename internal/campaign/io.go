@@ -60,6 +60,18 @@ func attackFileName(k scenario.AttackKind) string {
 	return ""
 }
 
+// AttackByName resolves the file encoding of an attack
+// (karma|mana|prelim|cityhunter|known-beacons) — the same names campaign
+// files and job submissions use.
+func AttackByName(name string) (scenario.AttackKind, bool) {
+	k, ok := attackNames[name]
+	return k, ok
+}
+
+// AttackName returns an attack kind's file encoding, or "" when the kind
+// has none.
+func AttackName(k scenario.AttackKind) string { return attackFileName(k) }
+
 // builtinVenues resolves the by-name venue references of hand-written
 // campaign files.
 var builtinVenues = map[string]func() scenario.Venue{
@@ -72,26 +84,57 @@ var builtinVenues = map[string]func() scenario.Venue{
 // Save writes a campaign's specs as JSON. Only the declarative spec fields
 // are encodable: a spec carrying a Configure hook cannot round-trip and is
 // rejected by name.
+//
+// Deprecated: new code should persist campaigns inside a versioned plan
+// envelope via SavePlan (plan.Save); this standalone format is kept for
+// compatibility and emits byte-identical output.
 func Save(w io.Writer, specs []Spec) error {
+	cf, err := encodeSpecs(specs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cf); err != nil {
+		return fmt.Errorf("campaign: encode: %w", err)
+	}
+	return nil
+}
+
+// EncodeSpecsJSON renders campaign specs in their canonical (compact) file
+// form — the payload the plan envelope embeds.
+func EncodeSpecsJSON(specs []Spec) (json.RawMessage, error) {
+	cf, err := encodeSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encode: %w", err)
+	}
+	return data, nil
+}
+
+func encodeSpecs(specs []Spec) (campaignFile, error) {
 	cf := campaignFile{Runs: make([]runFile, len(specs))}
 	for i, s := range specs {
 		if s.Configure != nil {
-			return fmt.Errorf("campaign: spec %d (%s): Configure hooks are not serialisable", i, s.Name)
+			return campaignFile{}, fmt.Errorf("campaign: spec %d (%s): Configure hooks are not serialisable", i, s.Name)
 		}
 		if s.Deployment != nil {
-			return fmt.Errorf("campaign: spec %d (%s): deployment specs are not serialisable (persist the plan with SaveDeployment)", i, s.Name)
+			return campaignFile{}, fmt.Errorf("campaign: spec %d (%s): deployment specs are not serialisable (persist the plan with SaveDeployment)", i, s.Name)
 		}
-		var venueBuf bytes.Buffer
-		if err := scenario.SaveVenue(&venueBuf, s.Venue); err != nil {
-			return fmt.Errorf("campaign: spec %d (%s): %w", i, s.Name, err)
+		venueSpec, err := scenario.EncodeVenueJSON(s.Venue)
+		if err != nil {
+			return campaignFile{}, fmt.Errorf("campaign: spec %d (%s): %w", i, s.Name, err)
 		}
 		attack := attackFileName(s.Attack)
 		if attack == "" {
-			return fmt.Errorf("campaign: spec %d (%s): attack kind %d not encodable", i, s.Name, int(s.Attack))
+			return campaignFile{}, fmt.Errorf("campaign: spec %d (%s): attack kind %d not encodable", i, s.Name, int(s.Attack))
 		}
 		rf := runFile{
 			Name:                 s.Name,
-			VenueSpec:            json.RawMessage(bytes.TrimSpace(venueBuf.Bytes())),
+			VenueSpec:            venueSpec,
 			Attack:               attack,
 			Slot:                 s.Slot,
 			Minutes:              s.Duration.Minutes(),
@@ -112,20 +155,32 @@ func Save(w io.Writer, specs []Spec) error {
 		}
 		cf.Runs[i] = rf
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(cf); err != nil {
-		return fmt.Errorf("campaign: encode: %w", err)
-	}
-	return nil
+	return cf, nil
 }
 
 // Load reads a campaign written by Save (or hand-written in the same
 // format) and validates it, naming the offending run and field in every
 // error.
+//
+// Deprecated: new code should load plans through LoadPlan (plan.Load),
+// which wraps the same codec in a versioned envelope. Load already rejects
+// unknown top-level fields but keeps embedded venueSpecs permissive, as it
+// always has.
 func Load(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: decode: %w", err)
+	}
+	return DecodeSpecsJSON(data, false)
+}
+
+// DecodeSpecsJSON parses and validates campaign specs in the Save format.
+// Unknown fields at the campaign level are always rejected; strict extends
+// the rejection into embedded venueSpec documents (the plan-envelope
+// contract).
+func DecodeSpecsJSON(data []byte, strict bool) ([]Spec, error) {
 	var cf campaignFile
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cf); err != nil {
 		return nil, fmt.Errorf("campaign: decode: %w", err)
@@ -150,7 +205,7 @@ func Load(r io.Reader) ([]Spec, error) {
 			}
 			s.Venue = mk()
 		case rf.VenueSpec != nil:
-			v, err := scenario.LoadVenue(bytes.NewReader(rf.VenueSpec))
+			v, err := scenario.DecodeVenueJSON(rf.VenueSpec, strict)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: run %d (%s): venueSpec: %w", i, name, err)
 			}
@@ -167,29 +222,6 @@ func Load(r io.Reader) ([]Spec, error) {
 			return nil, fmt.Errorf("campaign: run %d (%s): minutes %v must be positive", i, name, rf.Minutes)
 		}
 		s.Duration = time.Duration(rf.Minutes * float64(time.Minute))
-		if rf.Slot < 0 || rf.Slot >= s.Venue.Profile.Slots() {
-			return nil, fmt.Errorf("campaign: run %d (%s): slot %d outside venue profile (0..%d)",
-				i, name, rf.Slot, s.Venue.Profile.Slots()-1)
-		}
-		for _, f := range []struct {
-			field string
-			p     *float64
-		}{
-			{"directProberFraction", rf.DirectProberFraction},
-			{"canaryFraction", rf.CanaryFraction},
-			{"randomizeMacFraction", rf.RandomizeMACFraction},
-			{"preconnectedFraction", rf.PreconnectedFraction},
-		} {
-			if f.p != nil && (*f.p < 0 || *f.p > 1) {
-				return nil, fmt.Errorf("campaign: run %d (%s): %s %v outside [0,1]", i, name, f.field, *f.p)
-			}
-		}
-		if rf.FrameLoss != nil && (*rf.FrameLoss < 0 || *rf.FrameLoss >= 1) {
-			return nil, fmt.Errorf("campaign: run %d (%s): frameLoss %v outside [0,1)", i, name, *rf.FrameLoss)
-		}
-		if rf.ArrivalScale != nil && *rf.ArrivalScale <= 0 {
-			return nil, fmt.Errorf("campaign: run %d (%s): arrivalScale %v must be positive", i, name, *rf.ArrivalScale)
-		}
 		if rf.ScanIntervalSeconds != nil {
 			if *rf.ScanIntervalSeconds <= 0 {
 				return nil, fmt.Errorf("campaign: run %d (%s): scanIntervalSeconds %v must be positive", i, name, *rf.ScanIntervalSeconds)
@@ -206,6 +238,11 @@ func Load(r io.Reader) ([]Spec, error) {
 		s.Deauth = rf.Deauth
 		s.Sentinel = rf.Sentinel
 		s.CautiousMirror = rf.CautiousMirror
+		// Semantic checks (slot, fraction ranges, …) live in Spec.Validate
+		// so loaders, programmatic campaigns and the job server agree.
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: run %d (%s): %w", i, name, err)
+		}
 		specs[i] = s
 	}
 	return specs, nil

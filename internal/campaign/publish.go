@@ -57,10 +57,15 @@ func startCampaignFeed(p Pool, total, workers int) *campaignFeed {
 	}
 	f.workers = workers
 	f.gTotal.Set(float64(total))
+	labels := map[string]string{}
+	for k, v := range p.Labels {
+		labels[k] = v
+	}
+	labels["workers"] = fmt.Sprintf("%d", workers)
 	f.rp = p.Publisher.StartRun(obs.RunInfo{
 		Kind:   "campaign",
 		Label:  label,
-		Labels: map[string]string{"workers": fmt.Sprintf("%d", workers)},
+		Labels: labels,
 	})
 	f.rp.PublishSnapshot(0, reg.Snapshot())
 	return f
@@ -120,6 +125,23 @@ func (f *campaignFeed) specFinished(index int, name string, wall time.Duration, 
 	}
 	f.rp.PublishEvent(obs.Event{At: time.Since(f.start), Type: obs.EventSpecDone,
 		Actor: name, Detail: detail})
+	f.publish()
+}
+
+// specSkipped counts a spec served from a durable result store: it bumps
+// the done gauge and emits a spec-done event flagged "cached", but never
+// touches the running gauge, the wall-time histogram or the ETA mean —
+// cached specs cost no wall time and must not skew the estimate. Nil-safe.
+func (f *campaignFeed) specSkipped(index int, name string, done int) {
+	if f == nil {
+		return
+	}
+	f.gDone.Set(float64(done))
+	if name == "" {
+		name = fmt.Sprintf("run %d", index)
+	}
+	f.rp.PublishEvent(obs.Event{At: time.Since(f.start), Type: obs.EventSpecDone,
+		Actor: name, Detail: fmt.Sprintf("%d/%d done (cached)", done, f.total)})
 	f.publish()
 }
 

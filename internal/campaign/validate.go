@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"fmt"
+
+	"cityhunter/internal/scenario"
+)
+
+// fieldf builds a scenario.FieldError in one line. Paths use the campaign
+// run-file field names so server 400s point at the JSON the client sent.
+func fieldf(path, format string, args ...any) *scenario.FieldError {
+	return &scenario.FieldError{Path: path, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the spec's semantic invariants — the same checks
+// Campaign.Validate and the campaign loader have always applied, exported
+// so the job server can reject a bad spec with a structured 400 (field
+// path + reason) before admitting it, and CLIs fail fast with the same
+// messages. Errors are scenario.FieldErrors named after the campaign
+// run-file JSON fields; Error() is the bare reason, so wrapping keeps the
+// historical message text.
+func (s Spec) Validate() error {
+	if s.Duration <= 0 {
+		return fieldf("minutes", "duration %v must be positive", s.Duration)
+	}
+	if s.Deployment != nil {
+		if s.Venue.Name != "" {
+			return fieldf("venue", "venue and deployment are mutually exclusive")
+		}
+		if len(s.Deployment.Sites) == 0 {
+			return fieldf("deployment.sites", "deployment needs at least one site")
+		}
+		for _, v := range s.Deployment.Sites {
+			if s.Slot < 0 || s.Slot >= v.Profile.Slots() {
+				return fieldf("slot", "slot %d outside site %q profile (0..%d)",
+					s.Slot, v.Name, v.Profile.Slots()-1)
+			}
+		}
+	} else {
+		if s.Venue.Name == "" {
+			return fieldf("venue", "venue is required")
+		}
+		if s.Slot < 0 || s.Slot >= s.Venue.Profile.Slots() {
+			return fieldf("slot", "slot %d outside venue profile (0..%d)",
+				s.Slot, s.Venue.Profile.Slots()-1)
+		}
+	}
+	if s.Attack.String() == "unknown attack" {
+		return fieldf("attack", "unknown attack kind %d", int(s.Attack))
+	}
+	for _, f := range []struct {
+		field string
+		p     *float64
+	}{
+		{"directProberFraction", s.DirectProberFraction},
+		{"canaryFraction", s.CanaryFraction},
+		{"randomizeMacFraction", s.RandomizeMACFraction},
+		{"preconnectedFraction", s.PreconnectedFraction},
+	} {
+		if f.p != nil && (*f.p < 0 || *f.p > 1) {
+			return fieldf(f.field, "%s %v outside [0,1]", f.field, *f.p)
+		}
+	}
+	if s.FrameLoss != nil && (*s.FrameLoss < 0 || *s.FrameLoss >= 1) {
+		return fieldf("frameLoss", "frameLoss %v outside [0,1)", *s.FrameLoss)
+	}
+	if s.ArrivalScale != nil && *s.ArrivalScale <= 0 {
+		return fieldf("arrivalScale", "arrivalScale %v must be positive", *s.ArrivalScale)
+	}
+	if s.ScanInterval != nil && *s.ScanInterval <= 0 {
+		return fieldf("scanIntervalSeconds", "scan interval %v must be positive", *s.ScanInterval)
+	}
+	if s.Deployment != nil {
+		if err := s.Deployment.Validate(); err != nil {
+			if fe, ok := err.(*scenario.FieldError); ok {
+				return &scenario.FieldError{Path: "deployment." + fe.Path, Reason: fe.Reason}
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -70,15 +70,29 @@ func (s *Server) subscribe(run string) (*subscriber, func()) {
 	}
 }
 
+// readOnly guards a handler against non-read methods: the monitor's
+// endpoints observe and never mutate, so anything but GET or HEAD is a 405
+// with an Allow header.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the monitor's HTTP mux: read-only telemetry plus pprof.
 // Mount it under your own server if you need TLS or auth in front.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/runs", s.handleRuns)
-	mux.HandleFunc("/runs/", s.handleRun)
-	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/", readOnly(s.handleIndex))
+	mux.HandleFunc("/metrics", readOnly(s.handleMetrics))
+	mux.HandleFunc("/runs", readOnly(s.handleRuns))
+	mux.HandleFunc("/runs/", readOnly(s.handleRun))
+	mux.HandleFunc("/events", readOnly(s.handleEvents))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -34,10 +34,11 @@ type Server struct {
 	self    *obs.Registry       // monitor self-metrics, exported unlabelled
 	journal *obs.ShardedJournal // all runs' events, one shard per run
 
-	mu    sync.Mutex
-	runs  map[string]*runState
-	order []string // run IDs in registration order
-	seq   int
+	mu       sync.Mutex
+	runs     map[string]*runState
+	order    []string // run IDs in registration order
+	seq      int
+	attached []attachedRegistry
 
 	subMu  sync.Mutex
 	subs   map[int]*subscriber
@@ -72,6 +73,25 @@ func New() *Server {
 		mSnapshotsIn:  self.Counter("monitor_snapshots_received"),
 		mScrapesTotal: self.Counter("monitor_scrapes"),
 	}
+}
+
+// attachedRegistry is an external metrics registry merged into /metrics.
+type attachedRegistry struct {
+	reg    *obs.Registry
+	labels []string
+}
+
+// Attach merges an external registry into every /metrics scrape, stamped
+// with the given identity label pairs (key, value, key, value, …). Unlike
+// StartRun it carries no lifecycle — the job server uses it to expose its
+// own job counters beside the run telemetry. Safe for concurrent use.
+func (s *Server) Attach(reg *obs.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attached = append(s.attached, attachedRegistry{reg: reg, labels: labels})
+	s.mu.Unlock()
 }
 
 // runState is one registered run. Each run gets its own mutex and journal
@@ -224,6 +244,8 @@ func (s *Server) gather() obs.Snapshot {
 	for _, id := range s.order {
 		states = append(states, s.runs[id])
 	}
+	attached := make([]attachedRegistry, len(s.attached))
+	copy(attached, s.attached)
 	s.mu.Unlock()
 
 	var merged obs.Snapshot
@@ -235,6 +257,13 @@ func (s *Server) gather() obs.Snapshot {
 			continue
 		}
 		merged = append(merged, snap.Relabel(rs.identityLabels()...)...)
+	}
+	for _, a := range attached {
+		snap := a.reg.Snapshot()
+		if len(a.labels) > 0 {
+			snap = snap.Relabel(a.labels...)
+		}
+		merged = append(merged, snap...)
 	}
 	merged = append(merged, s.self.Snapshot()...)
 	merged.Sort()

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,7 +37,38 @@ var knowledgeNames = map[string]KnowledgePlane{
 
 // SaveDeployment writes a deployment plan as JSON. Base is intentionally
 // not serialized (see deploymentFile); everything else round-trips.
+//
+// Deprecated: new code should persist deployments inside a versioned plan
+// envelope via SavePlan (plan.Save); this standalone format is kept for
+// compatibility and emits byte-identical output.
 func SaveDeployment(w io.Writer, dcfg DeploymentConfig) error {
+	df, err := encodeDeployment(dcfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(df); err != nil {
+		return fmt.Errorf("scenario: encode deployment: %w", err)
+	}
+	return nil
+}
+
+// EncodeDeploymentJSON renders a deployment plan in its canonical
+// (compact) file form — the payload the plan envelope embeds.
+func EncodeDeploymentJSON(dcfg DeploymentConfig) (json.RawMessage, error) {
+	df, err := encodeDeployment(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(df)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode deployment: %w", err)
+	}
+	return data, nil
+}
+
+func encodeDeployment(dcfg DeploymentConfig) (deploymentFile, error) {
 	df := deploymentFile{
 		RoamFraction: dcfg.RoamFraction,
 	}
@@ -46,15 +78,15 @@ func SaveDeployment(w io.Writer, dcfg DeploymentConfig) error {
 		}
 	}
 	if df.Knowledge == "" {
-		return fmt.Errorf("scenario: knowledge plane %v not encodable", dcfg.Knowledge)
+		return deploymentFile{}, fmt.Errorf("scenario: knowledge plane %v not encodable", dcfg.Knowledge)
 	}
 	if len(dcfg.Sites) == 0 {
-		return fmt.Errorf("scenario: deployment needs at least one site")
+		return deploymentFile{}, fmt.Errorf("scenario: deployment needs at least one site")
 	}
 	for i, v := range dcfg.Sites {
 		vf, err := encodeVenue(v)
 		if err != nil {
-			return fmt.Errorf("scenario: site %d: %w", i, err)
+			return deploymentFile{}, fmt.Errorf("scenario: site %d: %w", i, err)
 		}
 		df.Sites = append(df.Sites, vf)
 	}
@@ -67,20 +99,36 @@ func SaveDeployment(w io.Writer, dcfg DeploymentConfig) error {
 			SpeedMaxMPS: dcfg.Transit.SpeedMax,
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(df); err != nil {
-		return fmt.Errorf("scenario: encode deployment: %w", err)
-	}
-	return nil
+	return df, nil
 }
 
 // LoadDeployment reads a deployment plan previously written by
 // SaveDeployment (or hand-written in the same format) and validates it.
 // The returned config has an empty Base; fill it before running.
+//
+// Deprecated: new code should load plans through LoadPlan (plan.Load),
+// which wraps the same codec in a versioned envelope with strict
+// unknown-field validation. LoadDeployment remains permissive for
+// existing files.
 func LoadDeployment(r io.Reader) (DeploymentConfig, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return DeploymentConfig{}, fmt.Errorf("scenario: decode deployment: %w", err)
+	}
+	return DecodeDeploymentJSON(data, false)
+}
+
+// DecodeDeploymentJSON parses and validates a deployment plan in the
+// SaveDeployment format. With strict set, unknown JSON fields anywhere in
+// the document are rejected (the plan-envelope contract); without it the
+// decode is permissive, as LoadDeployment has always been.
+func DecodeDeploymentJSON(data []byte, strict bool) (DeploymentConfig, error) {
 	var df deploymentFile
-	if err := json.NewDecoder(r).Decode(&df); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(&df); err != nil {
 		return DeploymentConfig{}, fmt.Errorf("scenario: decode deployment: %w", err)
 	}
 	var dcfg DeploymentConfig
@@ -92,12 +140,6 @@ func LoadDeployment(r io.Reader) (DeploymentConfig, error) {
 		return DeploymentConfig{}, fmt.Errorf("scenario: unknown knowledge plane %q", df.Knowledge)
 	}
 	dcfg.Knowledge = plane
-	if len(df.Sites) == 0 {
-		return DeploymentConfig{}, fmt.Errorf("scenario: deployment needs at least one site")
-	}
-	if len(df.Sites) > MaxSites {
-		return DeploymentConfig{}, fmt.Errorf("scenario: %d sites exceed the %d-site limit", len(df.Sites), MaxSites)
-	}
 	for i, vf := range df.Sites {
 		v, err := decodeVenue(vf)
 		if err != nil {
@@ -105,22 +147,16 @@ func LoadDeployment(r io.Reader) (DeploymentConfig, error) {
 		}
 		dcfg.Sites = append(dcfg.Sites, v)
 	}
-	if df.RoamFraction < 0 || df.RoamFraction > 1 {
-		return DeploymentConfig{}, fmt.Errorf("scenario: roam fraction %v outside [0,1]", df.RoamFraction)
-	}
 	dcfg.RoamFraction = df.RoamFraction
-	if df.SyncEverySec < 0 {
-		return DeploymentConfig{}, fmt.Errorf("scenario: sync period %vs must not be negative", df.SyncEverySec)
-	}
 	dcfg.SyncEvery = time.Duration(df.SyncEverySec * float64(time.Second))
 	if df.Transit != nil {
 		dcfg.Transit = mobility.TransitModel{
 			SpeedMin: df.Transit.SpeedMinMPS,
 			SpeedMax: df.Transit.SpeedMaxMPS,
 		}
-		if err := dcfg.Transit.Validate(); err != nil {
-			return DeploymentConfig{}, fmt.Errorf("scenario: %w", err)
-		}
+	}
+	if err := dcfg.Validate(); err != nil {
+		return DeploymentConfig{}, fmt.Errorf("scenario: %w", err)
 	}
 	return dcfg, nil
 }

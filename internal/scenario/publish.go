@@ -30,10 +30,12 @@ func startFeed(env *runEnv, kind string, slot int, sites []*site, extra map[stri
 	if cfg.Publisher == nil {
 		return nil
 	}
-	labels := map[string]string{
-		"attack": cfg.Attack.String(),
-		"seed":   fmt.Sprintf("%d", cfg.Seed),
+	labels := map[string]string{}
+	for k, v := range cfg.RunLabels {
+		labels[k] = v
 	}
+	labels["attack"] = cfg.Attack.String()
+	labels["seed"] = fmt.Sprintf("%d", cfg.Seed)
 	for k, v := range extra {
 		labels[k] = v
 	}

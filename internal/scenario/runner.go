@@ -138,6 +138,10 @@ type Config struct {
 	// RunLabel names the run on the monitor; empty derives
 	// "venue/attack/slotN".
 	RunLabel string
+	// RunLabels adds extra identity labels to every metric the run
+	// publishes (the job server scopes runs to a job id this way). The
+	// built-in attack/seed labels win on conflict.
+	RunLabels map[string]string
 	// Seed drives all randomness in the run.
 	Seed int64
 }

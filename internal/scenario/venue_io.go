@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,7 +12,9 @@ import (
 )
 
 // venueFile is the JSON form of a Venue. Dwell models are encoded by kind
-// so the format stays declarative and forward-compatible.
+// so the format stays declarative and forward-compatible. It is the single
+// codec behind SaveVenue/LoadVenue, the deployment and campaign formats
+// (which embed venues inline), and the versioned plan envelope.
 type venueFile struct {
 	Name           string           `json:"name"`
 	Kind           string           `json:"kind"`
@@ -46,6 +49,10 @@ var kindNames = map[string]VenueKind{
 
 // SaveVenue writes a venue as JSON. Only the built-in dwell-model types are
 // encodable; custom DwellModel implementations need their own persistence.
+//
+// Deprecated: new code should persist venues inside a versioned plan
+// envelope via SavePlan (plan.Save); this standalone format is kept for
+// compatibility and emits byte-identical output.
 func SaveVenue(w io.Writer, v Venue) error {
 	vf, err := encodeVenue(v)
 	if err != nil {
@@ -57,6 +64,36 @@ func SaveVenue(w io.Writer, v Venue) error {
 		return fmt.Errorf("scenario: encode venue: %w", err)
 	}
 	return nil
+}
+
+// EncodeVenueJSON renders a venue in its canonical (compact) file form —
+// the payload the plan envelope and the campaign format embed.
+func EncodeVenueJSON(v Venue) (json.RawMessage, error) {
+	vf, err := encodeVenue(v)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(vf)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode venue: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeVenueJSON parses and validates a venue in the SaveVenue format.
+// With strict set, unknown JSON fields are rejected (the plan-envelope
+// contract); without it the decode is permissive, as LoadVenue has always
+// been.
+func DecodeVenueJSON(data []byte, strict bool) (Venue, error) {
+	var vf venueFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(&vf); err != nil {
+		return Venue{}, fmt.Errorf("scenario: decode venue: %w", err)
+	}
+	return decodeVenue(vf)
 }
 
 // encodeVenue converts a venue to its file form (shared with the
@@ -106,29 +143,25 @@ func encodeVenue(v Venue) (venueFile, error) {
 
 // LoadVenue reads a venue previously written by SaveVenue (or hand-written
 // in the same format) and validates it.
+//
+// Deprecated: new code should load plans through LoadPlan (plan.Load),
+// which wraps the same codec in a versioned envelope with strict
+// unknown-field validation. LoadVenue remains permissive for existing
+// files.
 func LoadVenue(r io.Reader) (Venue, error) {
-	var vf venueFile
-	if err := json.NewDecoder(r).Decode(&vf); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return Venue{}, fmt.Errorf("scenario: decode venue: %w", err)
 	}
-	return decodeVenue(vf)
+	return DecodeVenueJSON(data, false)
 }
 
-// decodeVenue validates a venue's file form and converts it (shared with
-// the deployment format).
+// decodeVenue converts a venue's file form and validates it via
+// Venue.Validate (shared with the deployment format).
 func decodeVenue(vf venueFile) (Venue, error) {
 	kind, ok := kindNames[vf.Kind]
 	if !ok {
 		return Venue{}, fmt.Errorf("scenario: unknown venue kind %q", vf.Kind)
-	}
-	if vf.Name == "" {
-		return Venue{}, fmt.Errorf("scenario: venue needs a name")
-	}
-	if vf.RadioRange <= 0 {
-		return Venue{}, fmt.Errorf("scenario: radio range %v must be positive", vf.RadioRange)
-	}
-	if vf.MovingFraction < 0 || vf.MovingFraction > 1 {
-		return Venue{}, fmt.Errorf("scenario: moving fraction %v outside [0,1]", vf.MovingFraction)
 	}
 	v := Venue{
 		Name:           vf.Name,
@@ -138,14 +171,6 @@ func decodeVenue(vf venueFile) (Venue, error) {
 		Profile:        mobility.Profile{StartHour: vf.StartHour, PerMinute: vf.ArrivalsPerMin},
 		MovingFraction: vf.MovingFraction,
 		RushSlots:      vf.RushSlots,
-	}
-	if err := v.Profile.Validate(); err != nil {
-		return Venue{}, fmt.Errorf("scenario: %w", err)
-	}
-	for _, s := range vf.RushSlots {
-		if s < 0 || s >= v.Profile.Slots() {
-			return Venue{}, fmt.Errorf("scenario: rush slot %d outside profile", s)
-		}
 	}
 	if vf.Static != nil {
 		v.StaticDwell = mobility.StaticDwell{
@@ -161,11 +186,8 @@ func decodeVenue(vf venueFile) (Venue, error) {
 			SpeedMax:   vf.Moving.SpeedMaxMPS,
 		}
 	}
-	if v.MovingFraction > 0 && v.MovingDwell == nil {
-		return Venue{}, fmt.Errorf("scenario: moving fraction %v needs a moving dwell model", v.MovingFraction)
-	}
-	if v.MovingFraction < 1 && v.StaticDwell == nil {
-		return Venue{}, fmt.Errorf("scenario: static share needs a static dwell model")
+	if err := v.Validate(); err != nil {
+		return Venue{}, fmt.Errorf("scenario: %w", err)
 	}
 	return v, nil
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"cityhunter/internal/campaign"
+	"cityhunter/internal/scenario"
+	"cityhunter/internal/stats"
+)
+
+// SpecResult is the durable summary of one finished campaign spec — the
+// checkpoint unit of the result store. It deliberately carries only
+// integers and strings (plus the duration in seconds, a float that
+// round-trips JSON exactly), so a spec served from the store contributes
+// bytes identical to one that just ran.
+type SpecResult struct {
+	// Index is the spec's position in the campaign.
+	Index int `json:"index"`
+	// Name is the spec's label, when it has one.
+	Name string `json:"name,omitempty"`
+	// Venue and Attack identify single-venue runs; SlotLabel is the
+	// "8am-9am" rendering of Slot.
+	Venue     string `json:"venue,omitempty"`
+	Attack    string `json:"attack,omitempty"`
+	Slot      int    `json:"slot"`
+	SlotLabel string `json:"slotLabel,omitempty"`
+	// Seconds is the simulated duration.
+	Seconds float64 `json:"durationSeconds"`
+	// Tally is the run's aggregate (pooled across sites for deployment
+	// specs) — the only part the campaign aggregate needs.
+	Tally stats.Tally `json:"tally"`
+	// Sites, Knowledge and Roams describe deployment specs; empty for
+	// single-venue runs.
+	Sites     []SiteResult `json:"sites,omitempty"`
+	Knowledge string       `json:"knowledge,omitempty"`
+	Roams     int          `json:"roams,omitempty"`
+}
+
+// SiteResult is one deployment site's share of a SpecResult.
+type SiteResult struct {
+	Venue string      `json:"venue"`
+	Tally stats.Tally `json:"tally"`
+}
+
+// Result is a job's final durable document: every spec's summary in spec
+// order plus the campaign aggregate rebuilt from their tallies. Because
+// both parts derive from deterministic runs (or their exact stored
+// checkpoints), resubmitting a plan always reproduces this byte for byte.
+type Result struct {
+	Hash      string             `json:"hash"`
+	Kind      string             `json:"kind"`
+	Seed      int64              `json:"seed"`
+	Specs     []SpecResult       `json:"specs"`
+	Aggregate campaign.Aggregate `json:"aggregate"`
+}
+
+// specResultFromRun summarises a single-venue run.
+func specResultFromRun(index int, name string, res *scenario.Result) SpecResult {
+	return SpecResult{
+		Index:     index,
+		Name:      name,
+		Venue:     res.Venue,
+		Attack:    res.Attack,
+		Slot:      res.Slot,
+		SlotLabel: res.SlotLabel,
+		Seconds:   res.Duration.Seconds(),
+		Tally:     res.Tally,
+	}
+}
+
+// specResultFromDeployment summarises a deployment run: the pooled tally
+// plus per-site shares.
+func specResultFromDeployment(index int, name string, spec campaign.Spec, dep *scenario.DeploymentResult) SpecResult {
+	sr := SpecResult{
+		Index:     index,
+		Name:      name,
+		Attack:    campaign.AttackName(spec.Attack),
+		Slot:      spec.Slot,
+		Seconds:   dep.Duration.Seconds(),
+		Tally:     dep.Tally,
+		Knowledge: dep.Knowledge.String(),
+		Roams:     dep.Roams,
+	}
+	for _, site := range dep.Sites {
+		sr.Sites = append(sr.Sites, SiteResult{Venue: site.Venue, Tally: site.Tally})
+	}
+	return sr
+}
