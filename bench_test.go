@@ -280,6 +280,48 @@ func BenchmarkCityScale(b *testing.B) {
 	}
 }
 
+// benchMultiSite runs the partitioned-engine snapshot workload: the
+// city-scale trio with roaming phones and a far-field crowd, on either the
+// classic serialized engine (parts 0) or the conservative parallel engine.
+// The two benchmarks share one workload so the snapshot pair reads as a
+// speedup table; on multi-core runners the partitioned engine overlaps the
+// three site loops, on a single core it measures the coordination overhead.
+func benchMultiSite(b *testing.B, parts int) {
+	w := benchWorld(b)
+	sites := []cityhunter.Venue{
+		cityhunter.StationVenue(),
+		cityhunter.CanteenVenue(),
+		cityhunter.MallVenue(),
+	}
+	stops := w.City.RouteStops()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.DeploySitesContext(context.Background(), sites, cityhunter.CityHunter,
+			cityhunter.LunchSlot, 30*time.Minute,
+			cityhunter.WithRoaming(0.3),
+			cityhunter.WithPopulationScale(4000),
+			cityhunter.WithLODRadius(80),
+			cityhunter.WithCityRoutes(stops),
+			cityhunter.WithPartitions(parts),
+			cityhunter.WithRunOptions(cityhunter.WithRunSeed(int64(i+1))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%d roams, %d promoted, pooled %v", res.Roams, res.FarField.Promoted, res.Tally)
+		}
+	}
+}
+
+// BenchmarkMultiSiteSerial is the classic serialized engine on the
+// three-site roaming + far-field workload — the baseline of the scaling
+// pair.
+func BenchmarkMultiSiteSerial(b *testing.B) { benchMultiSite(b, 0) }
+
+// BenchmarkMultiSitePartitioned is the same workload on the conservative
+// parallel engine with one partition per site (DESIGN.md §5.13).
+func BenchmarkMultiSitePartitioned(b *testing.B) { benchMultiSite(b, cityhunter.AutoPartitions) }
+
 // BenchmarkCountermeasures regenerates the §VI defence report.
 func BenchmarkCountermeasures(b *testing.B) {
 	w := benchWorld(b)

@@ -157,6 +157,9 @@ const (
 // MaxDeploymentSites bounds a deployment's site count.
 const MaxDeploymentSites = scenario.MaxSites
 
+// AutoPartitions asks WithPartitions for one partition per deployment site.
+const AutoPartitions = scenario.AutoPartitions
+
 // Common hour slots of the 8am–8pm profiles.
 const (
 	// MorningRushSlot is 8am–9am.
@@ -727,6 +730,20 @@ func WithTransit(m TransitModel) DeployOption {
 // configuration — seeds, population fractions, deauth, observability.
 func WithRunOptions(opts ...RunOption) DeployOption {
 	return deployOptionFunc(func(o *deployOptions) { ApplyOptions(&o.dcfg.Base, opts...) })
+}
+
+// WithPartitions selects the conservative parallel execution engine: each
+// site partition runs its own event loop on its own goroutine, advancing
+// in lookahead-bounded windows with cross-partition events (roaming
+// transits, knowledge syncs, level-of-detail handoffs) applied at
+// deterministic barriers. Results are identical at any partition count
+// and any GOMAXPROCS, but follow the partitioned semantics — per-site RNG
+// streams and radio shards — so they are not byte-comparable with the
+// default serialized engine (see DESIGN §5.13). Pass AutoPartitions for
+// one partition per site, or a positive count (clamped to the site
+// count); 0 keeps the classic engine.
+func WithPartitions(n int) DeployOption {
+	return deployOptionFunc(func(o *deployOptions) { o.dcfg.Partitions = n })
 }
 
 // farField returns the deployment's far-field config, creating it on first

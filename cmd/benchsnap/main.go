@@ -56,6 +56,7 @@ var tiers = []tier{
 	{pkg: ".", bench: "^BenchmarkCanteenRun$", benchtime: "5x"},
 	{pkg: ".", bench: "^BenchmarkCanteenRunMonitored$", benchtime: "5x"},
 	{pkg: ".", bench: "^BenchmarkCityScale$", benchtime: "3x"},
+	{pkg: ".", bench: "^BenchmarkMultiSite", benchtime: "2x"},
 	{pkg: "./internal/campaign", bench: "^BenchmarkCampaignGrid$", benchtime: "2x"},
 	{pkg: "./internal/core", bench: "^BenchmarkBroadcastReply", benchtime: "200000x"},
 	{pkg: "./internal/ieee80211", bench: "Marshal", benchtime: "2000000x"},

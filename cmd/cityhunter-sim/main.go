@@ -29,7 +29,11 @@
 // -minutes, -seed and the population flags apply; the single-run output
 // flags (-pcap, -trace-out, -breakdown) do not. -population without a
 // -deployment plan hunts the default city-scale trio (station, canteen,
-// mall) with that many far-field pedestrians.
+// mall) with that many far-field pedestrians. -partitions 0 runs the
+// deployment on the conservative parallel engine with one partition per
+// site (-partitions N for an explicit count); the default -1 keeps the
+// classic serialized engine unless the plan file itself asks for
+// partitions.
 //
 // Live monitoring: -monitor ADDR serves read-only telemetry over HTTP for
 // the lifetime of the process — Prometheus exposition on /metrics, run
@@ -85,6 +89,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		deployFile   = fs.String("deployment", "", "run the multi-site deployment plan in this JSON file instead of a single venue")
 		parallel     = fs.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		population   = fs.Int("population", 0, "far-field pedestrians roaming the city in a -deployment run (level-of-detail tier)")
+		partitions   = fs.Int("partitions", -1, "conservative parallel deployment engine: 0 = one partition per site, N = explicit count, -1 = serial engine (or the plan's setting)")
 		lodRadius    = fs.Float64("lod-radius", 0, "promotion boundary radius in metres around each site (0 = 1.25x the largest radio range)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -141,14 +146,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if mon != nil {
 			opts = append(opts, cityhunter.WithMonitorServer(mon))
 		}
+		parts, err := partitionsFlagValue(*partitions)
+		if err != nil {
+			return err
+		}
 		if *deployFile != "" {
 			return runDeployment(ctx, out, *deployFile, kind, *slot, *minutes, *seed,
-				*population, *lodRadius, opts...)
+				*population, *lodRadius, parts, opts...)
 		}
 		// -population without a -deployment plan: hunt the default
 		// city-scale trio (station, canteen, mall) in a synthetic city.
 		return runCityScale(ctx, out, kind, *slot, *minutes, *seed,
-			*population, *lodRadius, opts...)
+			*population, *lodRadius, parts, opts...)
 	}
 
 	var venue cityhunter.Venue
@@ -354,7 +363,8 @@ func runCampaign(ctx context.Context, out io.Writer, path string, seed int64, pa
 // one shared medium, printing the per-site rows followed by the pooled tally
 // that the plan's knowledge plane produced.
 func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhunter.AttackKind,
-	slot, minutes int, seed int64, population int, lodRadius float64, opts ...cityhunter.RunOption) error {
+	slot, minutes int, seed int64, population int, lodRadius float64, partitions int,
+	opts ...cityhunter.RunOption) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -363,6 +373,11 @@ func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhun
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if partitions != 0 {
+		// The flag overrides whatever the plan file carries; 0 (the
+		// mapped form of -partitions -1) keeps the plan's setting.
+		dcfg.Partitions = partitions
 	}
 
 	world, err := cityhunter.NewWorld(cityhunter.WithSeed(seed))
@@ -403,7 +418,8 @@ func runDeployment(ctx context.Context, out io.Writer, path string, kind cityhun
 // examples/city-scale walkthrough so a one-liner exercises the
 // level-of-detail tier (and, with -monitor, lights up the telemetry plane).
 func runCityScale(ctx context.Context, out io.Writer, kind cityhunter.AttackKind,
-	slot, minutes int, seed int64, population int, lodRadius float64, opts ...cityhunter.RunOption) error {
+	slot, minutes int, seed int64, population int, lodRadius float64, partitions int,
+	opts ...cityhunter.RunOption) error {
 	world, err := cityhunter.NewWorld(
 		cityhunter.WithSeed(seed),
 		cityhunter.WithCityConfig(cityhunter.CityScaleCityConfig(seed)),
@@ -428,6 +444,7 @@ func runCityScale(ctx context.Context, out io.Writer, kind cityhunter.AttackKind
 		cityhunter.WithPopulationScale(population),
 		cityhunter.WithLODRadius(lodRadius),
 		cityhunter.WithCityRoutes(stops),
+		cityhunter.WithPartitions(partitions),
 		cityhunter.WithRunOptions(opts...))
 	if err != nil {
 		return err
@@ -445,6 +462,23 @@ func runCityScale(ctx context.Context, out io.Writer, kind cityhunter.AttackKind
 		}
 	}
 	return nil
+}
+
+// partitionsFlagValue maps the -partitions flag onto the DeploymentConfig
+// field. The flag default -1 means "don't override" (classic engine, or
+// whatever the plan file says) and maps to 0; flag 0 asks for one partition
+// per site and maps to AutoPartitions; a positive flag is an explicit count.
+func partitionsFlagValue(flag int) (int, error) {
+	switch {
+	case flag < -1:
+		return 0, fmt.Errorf("-partitions %d invalid: use -1 (serial), 0 (one per site), or a positive count", flag)
+	case flag == -1:
+		return 0, nil
+	case flag == 0:
+		return cityhunter.AutoPartitions, nil
+	default:
+		return flag, nil
+	}
 }
 
 func venueByName(name string) (cityhunter.Venue, error) {

@@ -239,6 +239,83 @@ func TestRunDeploymentPopulation(t *testing.T) {
 	}
 }
 
+// TestRunDeploymentPartitions drives the -partitions flag: 0 selects the
+// conservative parallel engine with one partition per site, an explicit
+// count produces identical output (partition-count invariance through the
+// CLI), and invalid or unsupported combinations fail before any
+// simulation starts.
+func TestRunDeploymentPartitions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "city.json")
+	plan := cityhunter.DeploymentConfig{
+		Sites:        []cityhunter.Venue{cityhunter.CanteenVenue(), cityhunter.StationVenue()},
+		RoamFraction: 0.5,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cityhunter.SaveDeployment(f, plan)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("save plan: %v", err)
+	}
+
+	invoke := func(parts string) string {
+		var out bytes.Buffer
+		err := run(context.Background(),
+			[]string{"-deployment", path, "-attack", "cityhunter", "-minutes", "10",
+				"-seed", "3", "-partitions", parts}, &out)
+		if err != nil {
+			t.Fatalf("run -partitions %s: %v", parts, err)
+		}
+		return out.String()
+	}
+	auto := invoke("0")
+	for _, want := range []string{"2 sites", "canteen", "railway station", "pooled:"} {
+		if !strings.Contains(auto, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, auto)
+		}
+	}
+	if again := invoke("0"); again != auto {
+		t.Errorf("same-seed partitioned runs diverged:\n--- first ---\n%s\n--- second ---\n%s", auto, again)
+	}
+	if explicit := invoke("2"); explicit != auto {
+		t.Errorf("-partitions 2 diverged from -partitions 0:\n--- auto ---\n%s\n--- explicit ---\n%s", auto, explicit)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-deployment", path, "-partitions", "-2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-partitions -2 invalid") {
+		t.Fatalf("err = %v, want invalid-partitions complaint", err)
+	}
+
+	// A shared knowledge plane has zero lookahead; the partitioned engine
+	// refuses it before the run starts.
+	shared := filepath.Join(t.TempDir(), "shared.json")
+	splan := plan
+	splan.Knowledge = cityhunter.Shared
+	sf, err := os.Create(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cityhunter.SaveDeployment(sf, splan)
+	if cerr := sf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("save shared plan: %v", err)
+	}
+	out.Reset()
+	if err := run(context.Background(),
+		[]string{"-deployment", shared, "-partitions", "0", "-minutes", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "shared knowledge") {
+		t.Fatalf("err = %v, want shared-knowledge rejection", err)
+	}
+}
+
 // TestRunCampaignFileBadSpec: load errors surface with the offending run
 // named, before any simulation starts.
 func TestRunCampaignFileBadSpec(t *testing.T) {

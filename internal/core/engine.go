@@ -133,22 +133,31 @@ type engineObs struct {
 // per-buffer hit attribution (core_hits{kind=...}), harvest and adaptation
 // counters, and PB/FB/database size gauges. With a journal present it also
 // records ghost-hit and buffer-adaptation events. A nil runtime is a no-op.
-func (e *Engine) Instrument(rt *obs.Runtime) {
+//
+// The optional labels (key/value pairs) stamp every series the engine
+// registers. Partitioned deployments use them to give each site's engine
+// its own gauge series — N engines setting one shared unlabeled gauge from
+// N goroutines would race — while classic callers pass none and keep their
+// historical series names byte for byte.
+func (e *Engine) Instrument(rt *obs.Runtime, labels ...string) {
 	if rt == nil || (rt.Metrics == nil && rt.Journal == nil) {
 		return
 	}
 	o := &engineObs{journal: rt.Journal}
 	if rt.Metrics != nil {
-		o.replies = rt.Metrics.Counter("core_broadcast_replies")
-		o.batch = rt.Metrics.Histogram("core_batch_size", []float64{0, 10, 20, 30, 40})
-		for _, k := range []BufferKind{KindPopularity, KindPopularityGhost, KindFreshness, KindFreshnessGhost, KindMirror} {
-			o.hits[k] = rt.Metrics.Counter("core_hits", "kind", k.String())
+		withKind := func(k BufferKind) []string {
+			return append([]string{"kind", k.String()}, labels...)
 		}
-		o.harvests = rt.Metrics.Counter("core_harvested_ssids")
-		o.adaptations = rt.Metrics.Counter("core_adaptations")
-		o.pbSize = rt.Metrics.Gauge("core_pb_size")
-		o.fbSize = rt.Metrics.Gauge("core_fb_size")
-		o.dbSize = rt.Metrics.Gauge("core_db_size")
+		o.replies = rt.Metrics.Counter("core_broadcast_replies", labels...)
+		o.batch = rt.Metrics.Histogram("core_batch_size", []float64{0, 10, 20, 30, 40}, labels...)
+		for _, k := range []BufferKind{KindPopularity, KindPopularityGhost, KindFreshness, KindFreshnessGhost, KindMirror} {
+			o.hits[k] = rt.Metrics.Counter("core_hits", withKind(k)...)
+		}
+		o.harvests = rt.Metrics.Counter("core_harvested_ssids", labels...)
+		o.adaptations = rt.Metrics.Counter("core_adaptations", labels...)
+		o.pbSize = rt.Metrics.Gauge("core_pb_size", labels...)
+		o.fbSize = rt.Metrics.Gauge("core_fb_size", labels...)
+		o.dbSize = rt.Metrics.Gauge("core_db_size", labels...)
 	}
 	e.om = o
 	e.omSyncGauges()

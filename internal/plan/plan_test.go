@@ -264,6 +264,12 @@ func TestPlanStrictRejection(t *testing.T) {
 		{"semantic validation still applies",
 			`{"version":1,"kind":"deployment","deployment":{"knowledge":"shared","roamFraction":2,"sites":[` + venuePayload + `]}}`,
 			"roam fraction 2 outside [0,1]"},
+		{"invalid partition count",
+			`{"version":1,"kind":"deployment","deployment":{"knowledge":"isolated","roamFraction":0,"partitions":-2,"sites":[` + venuePayload + `]}}`,
+			"partition count -2 invalid"},
+		{"partitioned shared knowledge",
+			`{"version":1,"kind":"deployment","deployment":{"knowledge":"shared","roamFraction":0,"partitions":-1,"sites":[` + venuePayload + `]}}`,
+			"shared knowledge plane cannot run partitioned"},
 	}
 	for _, tc := range cases {
 		_, err := Decode([]byte(tc.json))
@@ -274,6 +280,55 @@ func TestPlanStrictRejection(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not contain %q", tc.label, err, tc.want)
 		}
+	}
+}
+
+// TestPartitionsRoundTrip: the partitions field survives the envelope
+// byte-stably for every encodable value, and its absence decodes to the
+// classic engine — pre-partitioning plans keep meaning what they meant.
+func TestPartitionsRoundTrip(t *testing.T) {
+	for _, parts := range []int{scenario.AutoPartitions, 1, 3} {
+		d := fixtureDeployment()
+		d.Partitions = parts
+		p := Plan{Kind: KindDeployment, Deployment: &d}
+		var first bytes.Buffer
+		if err := Save(&first, p); err != nil {
+			t.Fatalf("partitions=%d: save: %v", parts, err)
+		}
+		if !strings.Contains(first.String(), `"partitions"`) {
+			t.Fatalf("partitions=%d: field not serialized:\n%s", parts, first.String())
+		}
+		loaded, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("partitions=%d: load: %v", parts, err)
+		}
+		if loaded.Deployment.Partitions != parts {
+			t.Errorf("partitions=%d: round-tripped to %d", parts, loaded.Deployment.Partitions)
+		}
+		var second bytes.Buffer
+		if err := Save(&second, loaded); err != nil {
+			t.Fatalf("partitions=%d: re-save: %v", parts, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("partitions=%d: round trip not byte-stable", parts)
+		}
+	}
+
+	// The fixture (Partitions 0) must not serialize the field at all, so
+	// the pre-partitioning golden bytes stay frozen.
+	var buf bytes.Buffer
+	if err := Save(&buf, fixturePlans()["deployment"]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"partitions"`) {
+		t.Errorf("classic deployment serialized a partitions field:\n%s", buf.String())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Deployment.Partitions != 0 {
+		t.Errorf("absent partitions decoded to %d, want 0", loaded.Deployment.Partitions)
 	}
 }
 

@@ -76,7 +76,20 @@ type DeploymentConfig struct {
 	// only inside the promotion boundary around each site. nil keeps the
 	// classic venue-scale behaviour byte for byte.
 	FarField *FarFieldConfig
+	// Partitions selects the execution engine. 0 (the zero value) keeps
+	// the classic serialized engine byte for byte. AutoPartitions runs the
+	// conservative parallel engine with one partition per site; a positive
+	// count runs it with that many partitions (clamped to the site count).
+	// Partitioned results are deterministic — identical at any partition
+	// count and any GOMAXPROCS — but follow the partitioned semantics
+	// (per-site RNG streams and radio shards; see DESIGN §5.13), so they
+	// are not comparable byte for byte with Partitions == 0 output.
+	Partitions int
 }
+
+// AutoPartitions asks the partitioned engine to use one partition per
+// deployment site.
+const AutoPartitions = -1
 
 // DeploymentResult is everything a deployment run produces.
 type DeploymentResult struct {
@@ -177,11 +190,19 @@ func RunDeploymentContext(ctx context.Context, dcfg DeploymentConfig, slot int, 
 	if duration <= 0 {
 		return nil, fmt.Errorf("scenario: non-positive duration %v", duration)
 	}
+	if dcfg.Partitions < AutoPartitions {
+		return nil, fmt.Errorf("scenario: partition count %d invalid: use %d (one per site), 0 (serial), or a positive count",
+			dcfg.Partitions, AutoPartitions)
+	}
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Venue = Venue{} // sites replace it; nothing below may consult it
+
+	if dcfg.Partitions != 0 {
+		return runPartitionedDeployment(ctx, dcfg, cfg, slot, duration, transit, syncEvery, radioRange)
+	}
 
 	env, err := newRunEnv(cfg, radioRange)
 	if err != nil {

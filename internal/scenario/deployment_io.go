@@ -22,6 +22,10 @@ type deploymentFile struct {
 	SyncEverySec float64      `json:"syncEverySeconds,omitempty"`
 	RoamFraction float64      `json:"roamFraction"`
 	Transit      *transitFile `json:"transit,omitempty"`
+	// Partitions selects the execution engine (0 classic serialized, -1
+	// one partition per site, positive an explicit count); omitted for 0
+	// so every pre-partitioning plan round-trips byte-identically.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 type transitFile struct {
@@ -99,6 +103,7 @@ func encodeDeployment(dcfg DeploymentConfig) (deploymentFile, error) {
 			SpeedMaxMPS: dcfg.Transit.SpeedMax,
 		}
 	}
+	df.Partitions = dcfg.Partitions
 	return df, nil
 }
 
@@ -155,6 +160,7 @@ func DecodeDeploymentJSON(data []byte, strict bool) (DeploymentConfig, error) {
 			SpeedMax: df.Transit.SpeedMaxMPS,
 		}
 	}
+	dcfg.Partitions = df.Partitions
 	if err := dcfg.Validate(); err != nil {
 		return DeploymentConfig{}, fmt.Errorf("scenario: %w", err)
 	}

@@ -260,24 +260,30 @@ func (tm *tierManager) spawn(horizon time.Duration) {
 	}
 }
 
-// windows computes the pedestrian's stays inside promotion boundaries,
+// windows computes the pedestrian's stays inside promotion boundaries.
+func (tm *tierManager) windows(route mobility.Route) []promoWindow {
+	return promoWindows(tm.grid, tm.sitePos, tm.cfg.Radius, route)
+}
+
+// promoWindows computes a route's stays inside promotion boundaries,
 // merged and in time order: per transit leg an analytic segment–disk
 // intersection against every candidate site from the grid, per dwell leg a
 // point-in-disk test. The grid query radius — half the leg length plus the
 // promotion radius — routinely exceeds the grid's cell size, which is why
-// AppendNeighborhood scans as many rings as the radius needs.
-func (tm *tierManager) windows(route mobility.Route) []promoWindow {
+// AppendNeighborhood scans as many rings as the radius needs. Shared by
+// the classic tier manager and the partitioned one, whose windows must be
+// identical for a partitioned run to mirror the serial reference.
+func promoWindows(grid *geo.HashGrid, sitePos []geo.Point, r float64, route mobility.Route) []promoWindow {
 	var raw []promoWindow
 	var cand []int32
-	r := tm.cfg.Radius
 	for _, leg := range route.Legs {
 		switch leg.Kind {
 		case mobility.LegTransit:
 			mid := leg.From.Add(leg.To.Sub(leg.From).Scale(0.5))
-			cand = tm.grid.AppendNeighborhood(cand[:0], mid, leg.From.Dist(leg.To)/2+r)
+			cand = grid.AppendNeighborhood(cand[:0], mid, leg.From.Dist(leg.To)/2+r)
 			sortSiteIDs(cand)
 			for _, si := range cand {
-				t0, t1, ok := geo.SegmentDiskCrossings(leg.From, leg.To, tm.sitePos[si], r)
+				t0, t1, ok := geo.SegmentDiskCrossings(leg.From, leg.To, sitePos[si], r)
 				if !ok {
 					continue
 				}
@@ -289,10 +295,10 @@ func (tm *tierManager) windows(route mobility.Route) []promoWindow {
 				})
 			}
 		case mobility.LegDwell:
-			cand = tm.grid.AppendNeighborhood(cand[:0], leg.To, r)
+			cand = grid.AppendNeighborhood(cand[:0], leg.To, r)
 			sortSiteIDs(cand)
 			for _, si := range cand {
-				if leg.To.Dist(tm.sitePos[si]) <= r {
+				if leg.To.Dist(sitePos[si]) <= r {
 					raw = append(raw, promoWindow{start: leg.Start, end: leg.End, site: int(si)})
 					break
 				}

@@ -1,0 +1,295 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cityhunter/internal/client"
+	"cityhunter/internal/core"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/obs"
+	"cityhunter/internal/stats"
+)
+
+// partTierManager is the far-field tier under partitioned execution. The
+// spawn phase is byte-identical to the classic tierManager — same spawn
+// stream, same per-pedestrian streams, same promotion windows — but each
+// window's promote/demote runs on the engine of the site that owns its
+// boundary, so all tier accounting is kept per site (touched only by the
+// owning partition) and folded after the run.
+//
+// A pedestrian's consecutive windows at DIFFERENT sites hand its
+// snapshot and RNG stream across partitions without locks: promotion
+// boundaries are validated disjoint, so between a demote at one site and
+// the next promote at another the pedestrian walks at least the boundary
+// gap — at least one lookahead of virtual time, hence at least one
+// coordinator barrier, whose join publishes the demote's writes.
+type partTierManager struct {
+	envs  []*runEnv
+	cfg   FarFieldConfig
+	sites []*site
+
+	grid    *geo.HashGrid
+	sitePos []geo.Point
+
+	peds []*pedestrian
+
+	// perSite[i] is written only by site i's partition during the run.
+	perSite []partTierSite
+
+	mDemotions *obs.Counter // atomic; shared across partitions
+}
+
+// partTierSite is one site's tier accounting plus its live metric
+// handles. promotedNow/peak are per-site because a run-time global count
+// would need cross-partition writes; the exact global peak is
+// reconstructed after the run from the per-site delta logs.
+type partTierSite struct {
+	stats        FarFieldSite
+	promotedNow  int
+	peakPromoted int
+	demotions    int
+	// deltas logs every tier transition at this site as (time, ±1); the
+	// post-run merge across sites — ordered by time, site index breaking
+	// ties — yields a global occupancy walk independent of the partition
+	// count.
+	deltas []tierDelta
+
+	mPromotions *obs.Counter
+	gPromoted   *obs.Gauge
+	gPeak       *obs.Gauge
+}
+
+type tierDelta struct {
+	at    time.Duration
+	delta int
+}
+
+func newPartTierManager(envs []*runEnv, cfg FarFieldConfig, sites []*site) (*partTierManager, error) {
+	grid, err := geo.NewHashGrid(cfg.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: far-field grid: %w", err)
+	}
+	tm := &partTierManager{envs: envs, cfg: cfg, sites: sites, grid: grid}
+	tm.perSite = make([]partTierSite, len(sites))
+	for i, st := range sites {
+		tm.grid.Insert(int32(i), st.venue.Position)
+		tm.sitePos = append(tm.sitePos, st.venue.Position)
+		tm.perSite[i].stats = FarFieldSite{Name: st.venue.Name}
+		if env := envs[i]; env.rt != nil {
+			// Gauges are per-site series: N partitions setting one shared
+			// gauge would race on who wrote last.
+			labels := env.siteLabels(st.venue.Name)
+			tm.perSite[i].mPromotions = env.rt.Metrics.Counter("lod_promotions", labels...)
+			tm.perSite[i].gPromoted = env.rt.Metrics.Gauge("lod_promoted_now", labels...)
+			tm.perSite[i].gPeak = env.rt.Metrics.Gauge("lod_promoted_peak", labels...)
+			if tm.mDemotions == nil {
+				tm.mDemotions = env.rt.Metrics.Counter("lod_demotions")
+			}
+		}
+	}
+	return tm, nil
+}
+
+// spawn mirrors tierManager.spawn draw for draw; only the scheduling
+// target differs — each window lands on its owning site's engine.
+func (tm *partTierManager) spawn(horizon time.Duration) {
+	cfg0 := tm.envs[0].cfg
+	spawn := rand.New(rand.NewSource(tm.cfg.Seed))
+	for id := 0; id < tm.cfg.Pedestrians; id++ {
+		seed := spawn.Int63()
+		p := &pedestrian{id: id, mac: farFieldMAC(id), rng: rand.New(rand.NewSource(seed))}
+		p.direct = p.rng.Float64() < cfg0.DirectProberFraction
+		arrival := time.Duration(p.rng.Int63n(int64(horizon)))
+		entry := geo.Pt(
+			tm.cfg.Entry.Min.X+p.rng.Float64()*tm.cfg.Entry.Width(),
+			tm.cfg.Entry.Min.Y+p.rng.Float64()*tm.cfg.Entry.Height(),
+		)
+		p.route = tm.cfg.Route.Sample(p.rng, arrival, entry, tm.cfg.Stops)
+		tm.peds = append(tm.peds, p)
+		for _, w := range promoWindows(tm.grid, tm.sitePos, tm.cfg.Radius, p.route) {
+			w := w
+			tm.envs[w.site].engine.At(w.start, func() { tm.promote(p, w) })
+			tm.envs[w.site].engine.At(w.end, func() { tm.demote(p, w.site) })
+		}
+	}
+}
+
+// promote runs on the owning site's partition; the draws come from the
+// pedestrian's private stream, exactly as in the classic tier.
+func (tm *partTierManager) promote(p *pedestrian, w promoWindow) {
+	if p.cur != nil {
+		return
+	}
+	env := tm.envs[w.site]
+	now := env.engine.Now()
+	pos := p.route.At(now)
+	var c *client.Client
+	var err error
+	if p.snap == nil {
+		cfg := env.cfg
+		list := env.model.NewList(p.rng, tm.sites[w.site].venue.Position)
+		if p.direct {
+			list = env.model.AugmentUnsafe(p.rng, list)
+		}
+		ccfg := client.Config{
+			MAC:           p.mac,
+			PNL:           list,
+			DirectProber:  p.direct,
+			ScanInterval:  time.Duration(float64(cfg.ScanInterval) * (0.7 + 0.6*p.rng.Float64())),
+			CanaryProbing: cfg.CanaryFraction > 0 && p.rng.Float64() < cfg.CanaryFraction,
+			RandomizeMAC:  cfg.RandomizeMACFraction > 0 && p.rng.Float64() < cfg.RandomizeMACFraction,
+			Obs:           env.rt,
+		}
+		c, err = client.New(env.engine, env.medium, p.rng, ccfg)
+		if err == nil {
+			c.SetPos(pos)
+			err = c.Start()
+		}
+		if err == nil {
+			p.firstPromo = now
+		}
+	} else {
+		c, err = client.Resume(env.engine, env.medium, p.rng, *p.snap)
+		if err == nil {
+			c.SetPos(pos)
+		}
+	}
+	if err != nil {
+		// Only reachable through programming errors; drop the promotion
+		// rather than corrupt the run.
+		return
+	}
+	p.cur = c
+	p.snap = nil
+	p.epoch++
+	p.promotions++
+	s := &tm.perSite[w.site]
+	s.stats.Promotions++
+	s.promotedNow++
+	if s.promotedNow > s.peakPromoted {
+		s.peakPromoted = s.promotedNow
+	}
+	s.deltas = append(s.deltas, tierDelta{at: now, delta: 1})
+	if env.rt != nil {
+		s.mPromotions.Inc()
+		s.gPromoted.Set(float64(s.promotedNow))
+		s.gPeak.SetMax(float64(s.peakPromoted))
+		env.rt.Event(now, obs.EventPromotion, p.mac.String(),
+			"promoted near "+tm.sites[w.site].venue.Name)
+	}
+	tm.driveMovement(p, env)
+}
+
+// demote suspends a promoted client back to the statistical tier, on the
+// partition that owns the boundary being exited.
+func (tm *partTierManager) demote(p *pedestrian, siteIdx int) {
+	if p.cur == nil {
+		return
+	}
+	env := tm.envs[siteIdx]
+	p.epoch++
+	snap, err := p.cur.Suspend()
+	p.cur = nil
+	if err == nil {
+		p.snap = &snap
+	}
+	p.lastDemote = env.engine.Now()
+	s := &tm.perSite[siteIdx]
+	s.demotions++
+	s.promotedNow--
+	s.deltas = append(s.deltas, tierDelta{at: p.lastDemote, delta: -1})
+	if env.rt != nil {
+		tm.mDemotions.Inc()
+		s.gPromoted.Set(float64(s.promotedNow))
+		env.rt.Event(p.lastDemote, obs.EventDemotion, p.mac.String(),
+			"suspended to far-field tier")
+	}
+}
+
+// driveMovement walks a promoted client along its route on the promoting
+// site's engine. The ticker captures the client and consults only its
+// state: a demoted client is Departed forever, so a stale ticker dies
+// without reading pedestrian fields that a LATER promotion on another
+// partition may be rewriting (every promotion materialises a fresh
+// client, so a live captured client always means the ticker is current).
+func (tm *partTierManager) driveMovement(p *pedestrian, env *runEnv) {
+	const step = 2 * time.Second
+	c := p.cur
+	var tick func()
+	tick = func() {
+		if c.State() == client.StateDeparted {
+			return
+		}
+		c.SetPos(p.route.At(env.engine.Now()))
+		env.engine.Schedule(step, tick)
+	}
+	env.engine.Schedule(step, tick)
+}
+
+// result folds the per-site accounting into the classic FarFieldResult.
+// The global peak is the maximum of the occupancy walk over all deltas
+// merged by (time, site) — an ordering the run itself never depends on,
+// so the value is identical at any partition count.
+func (tm *partTierManager) result(now time.Duration, engines []*core.Engine) *FarFieldResult {
+	res := &FarFieldResult{Pedestrians: len(tm.peds)}
+	var deltas []tierDelta
+	for i := range tm.perSite {
+		s := &tm.perSite[i]
+		res.Promotions += s.stats.Promotions
+		res.Demotions += s.demotions
+		res.Sites = append(res.Sites, s.stats)
+		deltas = append(deltas, s.deltas...)
+	}
+	sort.SliceStable(deltas, func(i, j int) bool { return deltas[i].at < deltas[j].at })
+	occupancy := 0
+	for _, d := range deltas {
+		occupancy += d.delta
+		if occupancy > res.PeakPromoted {
+			res.PeakPromoted = occupancy
+		}
+	}
+	siteByMAC := make(map[ieee80211.MAC]int, len(tm.sites))
+	for i, st := range tm.sites {
+		siteByMAC[st.id.attackerMAC] = i
+	}
+	attackers := attackerSet(tm.sites)
+	for _, p := range tm.peds {
+		var st client.Stats
+		var mac ieee80211.MAC
+		switch {
+		case p.cur != nil:
+			st = p.cur.Stats
+			mac = p.cur.Addr()
+			p.lastDemote = now
+		case p.snap != nil:
+			st = p.snap.Stats
+			mac = p.snap.Config.MAC
+		default:
+			continue // never promoted: nothing on air, nothing to report
+		}
+		res.Promoted++
+		o := stats.ClientOutcome{
+			Arrived:      p.firstPromo,
+			Departed:     p.lastDemote,
+			DirectProber: p.direct,
+			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
+			Connected:    st.Connected && attackers[st.ConnectedTo],
+			ConnectedAt:  st.ConnectedAt,
+		}
+		for _, eng := range engines {
+			o.SSIDsSent += eng.SentCount(mac)
+		}
+		if o.Connected {
+			if si, ok := siteByMAC[st.ConnectedTo]; ok {
+				res.Sites[si].Hits++
+			}
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	res.Tally = stats.NewTally(res.Outcomes)
+	return res
+}

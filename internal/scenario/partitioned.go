@@ -1,0 +1,567 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cityhunter/internal/client"
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+	"cityhunter/internal/obs"
+	"cityhunter/internal/pnl"
+	"cityhunter/internal/sim"
+	"cityhunter/internal/stats"
+)
+
+// This file is the partitioned deployment path: the same env → knowledge →
+// sites → populations → collection layering as RunDeploymentContext, but
+// executed by a sim.Partitioned coordinator that runs each site partition
+// on its own goroutine in lookahead-bounded windows.
+//
+// Partitioned mode is a second deterministic semantics, not a parallel
+// re-execution of the classic one. The classic path funnels every site's
+// population draws through ONE run RNG, so its event stream is inherently
+// serial; the partitioned path gives every site its own RNG stream, radio
+// shard, and MAC space, which is what makes its results identical at any
+// partition count and any GOMAXPROCS — a one-partition run IS the serial
+// reference the determinism tests compare against. The semantic deltas,
+// and why each is forced, are catalogued in DESIGN §5.13:
+//
+//   - Per-site RNG streams (seed+500+1000·i) instead of one shared stream.
+//   - Per-site radio shards: RF never crosses venues (sites must be
+//     farther apart than the sum of their radio ranges — validated), so a
+//     roaming phone is radio-silent during its inter-site walk instead of
+//     scanning into empty air.
+//   - Per-site client MAC spaces (0x06 block) instead of one allocator.
+//   - Shared-plane knowledge is rejected: one database behind all sites
+//     has zero lookahead, the antithesis of a conservative scheme.
+//   - Span traces are rejected: obs.Trace is not safe for concurrent
+//     track allocation.
+
+// partDeployment is the partitioned counterpart of deploymentRun: the
+// roaming coordinator plus every per-site handle the window closures need.
+type partDeployment struct {
+	coord  *sim.Partitioned
+	envs   []*runEnv // one per site; engine/medium/rng/rt are site-local
+	sites  []*site
+	pops   []*population
+	partOf []int // site index → partition index
+
+	transit      mobility.TransitModel
+	roamFraction float64
+	// siteRoams counts completed transits by DESTINATION site, each
+	// incremented only by the partition that owns it; the sum replaces the
+	// classic single roams counter.
+	siteRoams []int
+}
+
+// partitionCount resolves the configured partition count against the site
+// count: AutoPartitions means one partition per site, and an explicit
+// count is clamped to the number of sites (an empty partition would only
+// add barrier latency).
+func partitionCount(requested, nsites int) int {
+	n := requested
+	if n == AutoPartitions {
+		n = nsites
+	}
+	if n > nsites {
+		n = nsites
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// partitionRFGap returns the smallest pairwise RF gap between sites:
+// distance minus both radio ranges. Partition-local radio needs it
+// positive — a phone at site A must be provably unhearable at site B.
+func partitionRFGap(sites []Venue) (gap float64, a, b int) {
+	gap = math.Inf(1)
+	for i := range sites {
+		for j := i + 1; j < len(sites); j++ {
+			g := sites[i].Position.Dist(sites[j].Position) - sites[i].RadioRange - sites[j].RadioRange
+			if g < gap {
+				gap, a, b = g, i, j
+			}
+		}
+	}
+	return gap, a, b
+}
+
+// partitionLookahead derives the coordinator's lookahead from deployment
+// geometry. Two mechanisms carry state between sites, and each needs its
+// minimum transfer latency:
+//
+//   - Roaming transits: every inter-site walk covers at least the minimum
+//     RF gap, and mobility.TransitModel floors leg duration at one second,
+//     so every arrival is posted at least max(1s, gap/maxSpeed) ahead.
+//   - Level-of-detail handoffs: a pedestrian demoted at one site's
+//     promotion boundary walks at least the boundary gap before promoting
+//     at another, so consecutive cross-site windows are separated by at
+//     least boundaryGap/maxSpeed — which must bound the window size for
+//     the demote and the re-promote to fall in different windows (the
+//     barrier between them is what hands the snapshot across safely).
+//
+// A single-site deployment has no cross-partition traffic at all; the
+// whole run is one window.
+func partitionLookahead(dcfg DeploymentConfig, transit mobility.TransitModel, ff *FarFieldConfig, duration time.Duration) (time.Duration, error) {
+	if len(dcfg.Sites) < 2 {
+		return duration, nil
+	}
+	gap, a, b := partitionRFGap(dcfg.Sites)
+	if gap <= 0 {
+		return 0, fmt.Errorf("scenario: partitioned execution needs disjoint radio ranges: sites %q and %q are %.0fm apart with ranges %.0fm and %.0fm",
+			dcfg.Sites[a].Name, dcfg.Sites[b].Name,
+			dcfg.Sites[a].Position.Dist(dcfg.Sites[b].Position),
+			dcfg.Sites[a].RadioRange, dcfg.Sites[b].RadioRange)
+	}
+	look := time.Duration(gap / transit.SpeedMax * float64(time.Second))
+	if look < time.Second {
+		look = time.Second // the transit model floors leg duration at 1s
+	}
+	if ff != nil {
+		pgap := math.Inf(1)
+		pa, pb := 0, 0
+		for i := range dcfg.Sites {
+			for j := i + 1; j < len(dcfg.Sites); j++ {
+				g := dcfg.Sites[i].Position.Dist(dcfg.Sites[j].Position) - 2*ff.Radius
+				if g < pgap {
+					pgap, pa, pb = g, i, j
+				}
+			}
+		}
+		if pgap <= 0 {
+			return 0, fmt.Errorf("scenario: partitioned execution needs disjoint promotion boundaries: sites %q and %q are %.0fm apart with promotion radius %.0fm",
+				dcfg.Sites[pa].Name, dcfg.Sites[pb].Name,
+				dcfg.Sites[pa].Position.Dist(dcfg.Sites[pb].Position), ff.Radius)
+		}
+		rt := ff.Route.Transit
+		if rt == (mobility.TransitModel{}) {
+			rt = mobility.DefaultTransit()
+		}
+		if h := time.Duration(pgap / rt.SpeedMax * float64(time.Second)); h < look {
+			look = h
+		}
+	}
+	return look, nil
+}
+
+// runPartitionedDeployment is the Partitions != 0 body of
+// RunDeploymentContext; dcfg passed structural validation and cfg is
+// normalized with its Venue cleared.
+func runPartitionedDeployment(ctx context.Context, dcfg DeploymentConfig, cfg Config, slot int, duration time.Duration, transit mobility.TransitModel, syncEvery time.Duration, radioRange float64) (*DeploymentResult, error) {
+	if dcfg.Knowledge == Shared {
+		return nil, fmt.Errorf("scenario: partitioned execution cannot run a shared knowledge plane (one database behind all sites has zero lookahead); use isolated or periodic-sync")
+	}
+	if cfg.SpanTrace {
+		return nil, fmt.Errorf("scenario: partitioned execution cannot record span traces (obs.Trace is single-threaded); disable SpanTrace or Partitions")
+	}
+	var ff *FarFieldConfig
+	if dcfg.FarField != nil {
+		f, err := dcfg.FarField.normalized(dcfg.Sites, radioRange, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ff = &f
+	}
+	look, err := partitionLookahead(dcfg, transit, ff, duration)
+	if err != nil {
+		return nil, err
+	}
+	nparts := partitionCount(dcfg.Partitions, len(dcfg.Sites))
+	coord, err := sim.NewPartitioned(nparts, look)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	partOf := make([]int, len(dcfg.Sites))
+	for i := range partOf {
+		partOf[i] = i % nparts
+	}
+
+	// Observability: one shared registry (counters are atomic, and every
+	// gauge series is either site-labelled or monotone), one coordinator
+	// runtime, and one journal per site so each partition records events
+	// race-free; the per-site journals merge by timestamp after the run.
+	wantObs := cfg.Metrics || cfg.FlightRecorderCap > 0 || cfg.Publisher != nil
+	var crt *obs.Runtime
+	var reg *obs.Registry
+	if wantObs {
+		crt = &obs.Runtime{}
+		if cfg.Metrics || cfg.Publisher != nil {
+			reg = obs.NewRegistry()
+			crt.Metrics = reg
+		}
+		if cfg.FlightRecorderCap > 0 {
+			crt.Journal = obs.NewJournal(cfg.FlightRecorderCap)
+			crt.Journal.Overflow = reg.Counter("obs_journal_overwritten_events")
+		}
+		for i := 0; i < coord.Parts(); i++ {
+			coord.Part(i).Instrument(crt)
+		}
+	}
+
+	model := cfg.PNL
+	if model == nil {
+		model, err = pnl.NewModel(cfg.City.DB, cfg.HeatMap, pnl.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("scenario: build pnl model: %w", err)
+		}
+	}
+
+	// Per-site environments: the site's partition engine, its own radio
+	// shard (same delivery radius as the classic shared medium), its own
+	// RNG stream, its own journal. The PNL model is shared — its pool
+	// cache is mutex-guarded and a pure function of the query position, so
+	// concurrent use cannot perturb results.
+	envs := make([]*runEnv, len(dcfg.Sites))
+	for i := range dcfg.Sites {
+		eng := coord.Part(partOf[i])
+		var mediumOpts []sim.MediumOption
+		if cfg.FrameLoss > 0 {
+			mediumOpts = append(mediumOpts, sim.WithFrameLoss(cfg.FrameLoss, cfg.Seed+5+1000*int64(i)))
+		}
+		med := sim.NewMedium(eng, radioRange, mediumOpts...)
+		var rt *obs.Runtime
+		if wantObs {
+			rt = &obs.Runtime{Metrics: reg}
+			if cfg.FlightRecorderCap > 0 {
+				rt.Journal = obs.NewJournal(cfg.FlightRecorderCap)
+				rt.Journal.Overflow = reg.Counter("obs_journal_overwritten_events")
+			}
+			med.Instrument(rt)
+		}
+		envs[i] = &runEnv{
+			cfg:        cfg,
+			rng:        rand.New(rand.NewSource(cfg.Seed + 500 + 1000*int64(i))),
+			engine:     eng,
+			medium:     med,
+			rt:         rt,
+			model:      model,
+			labelSites: true,
+		}
+	}
+
+	// Knowledge layer: per-site strategy sets with the classic per-site
+	// seeds. Engine gauges get a site label — N engines setting one shared
+	// gauge from N partitions would race.
+	sites := make([]*site, len(dcfg.Sites))
+	for i, v := range dcfg.Sites {
+		set, err := buildStrategy(cfg, []geo.Point{v.Position}, cfg.Seed+1+1000*int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if set.chEngine != nil {
+			set.chEngine.Instrument(envs[i].rt, envs[i].siteLabels(v.Name)...)
+		}
+		sites[i], err = deploySite(envs[i], v, deploymentSiteIdentity(i), set)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	feed := startPartFeed(coord, crt, cfg, slot, sites, map[string]string{
+		"knowledge":  dcfg.Knowledge.String(),
+		"sites":      fmt.Sprintf("%d", len(sites)),
+		"partitions": fmt.Sprintf("%d", nparts),
+	})
+	schedulePartSampling(envs, sites)
+	if dcfg.Knowledge == PeriodicSync {
+		schedulePartKnowledgeSync(coord, sites, syncEvery)
+	}
+
+	// Population layer: per-site MAC spaces and per-site arrival streams,
+	// with dwell endings routed through the partitioned roaming hook.
+	d := &partDeployment{
+		coord: coord, envs: envs, sites: sites, partOf: partOf,
+		transit: transit, roamFraction: dcfg.RoamFraction,
+		siteRoams: make([]int, len(sites)),
+	}
+	attackers := attackerSet(sites)
+	slotStart := time.Duration(slot) * time.Hour
+	pops := make([]*population, len(dcfg.Sites))
+	for i, v := range dcfg.Sites {
+		arrivals, err := mobility.Arrivals(envs[i].rng, scaledProfile(v.Profile, cfg.ArrivalScale), slotStart, duration)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: site %q: %w", v.Name, err)
+		}
+		pop := newPopulation(envs[i], v, sites[i].id.legitMAC, attackers, &macAllocator{space: siteMACSpace(i)})
+		pop.siteIndex = i
+		pop.endDwell = d.endDwell
+		pops[i] = pop
+		pop.spawnArrivals(arrivals, slotStart, v.Groups(slot), duration)
+	}
+	d.pops = pops
+
+	var tiers *partTierManager
+	if ff != nil {
+		tiers, err = newPartTierManager(envs, *ff, sites)
+		if err != nil {
+			return nil, err
+		}
+		tiers.spawn(duration)
+	}
+
+	_, runErr := coord.RunContext(ctx, duration)
+
+	// Collection layer — single-threaded again; every partition goroutine
+	// was joined before RunContext returned.
+	simulated := duration
+	if runErr != nil {
+		simulated = coord.Now()
+	}
+	engines := uniqueEngines(sites)
+	roams := 0
+	for _, r := range d.siteRoams {
+		roams += r
+	}
+	dres := &DeploymentResult{
+		Knowledge: dcfg.Knowledge,
+		Roams:     roams,
+		Duration:  simulated,
+	}
+	for i, st := range sites {
+		res := assembleResult(envs[i], st, pops[i], slot, simulated, engines)
+		dres.Sites = append(dres.Sites, res)
+		dres.Outcomes = append(dres.Outcomes, res.Outcomes...)
+	}
+	dres.Tally = stats.NewTally(dres.Outcomes)
+	if tiers != nil {
+		dres.FarField = tiers.result(simulated, engines)
+		if crt != nil && crt.Metrics != nil {
+			f := dres.FarField
+			crt.Metrics.Counter("scenario_farfield_pedestrians").Add(int64(f.Pedestrians))
+			crt.Metrics.Counter("scenario_farfield_promotions").Add(int64(f.Promotions))
+			crt.Metrics.Counter("scenario_farfield_demotions").Add(int64(f.Demotions))
+			crt.Metrics.Gauge("scenario_farfield_peak_promoted").Set(float64(f.PeakPromoted))
+		}
+	}
+	if crt != nil {
+		if cfg.FlightRecorderCap > 0 {
+			journals := []*obs.Journal{crt.Journal}
+			for _, env := range envs {
+				journals = append(journals, env.rt.Journal)
+			}
+			crt.Journal = mergeJournals(cfg.FlightRecorderCap, journals)
+		}
+		for i, res := range dres.Sites {
+			emitRunTelemetry(crt, envs[i], pops[i], res)
+		}
+		for _, res := range dres.Sites {
+			attachObservability(crt, res)
+		}
+		dres.Metrics = crt.Metrics.Snapshot()
+		dres.Journal = crt.Journal
+	}
+	feed.finish(simulated, runErr)
+	if runErr != nil {
+		return dres, fmt.Errorf("scenario: deployment cancelled after %v of %v: %w",
+			simulated, duration, runErr)
+	}
+	return dres, nil
+}
+
+// mergeJournals folds per-partition journals into one, ordered by virtual
+// time with journal order (coordinator first, then site order) breaking
+// ties — both independent of the partition count.
+func mergeJournals(capacity int, journals []*obs.Journal) *obs.Journal {
+	var all []obs.Event
+	for _, j := range journals {
+		if j != nil {
+			all = append(all, j.Events()...)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	merged := obs.NewJournal(capacity)
+	for _, e := range all {
+		merged.Record(e.At, e.Type, e.Actor, e.Detail)
+	}
+	return merged
+}
+
+// endDwell mirrors deploymentRun.endDwell with the current site's own RNG
+// stream: it runs on the partition that owns the member's current site.
+func (d *partDeployment) endDwell(m *member) {
+	if m.c.State() == client.StateDeparted {
+		return
+	}
+	rng := d.envs[m.site].rng
+	if len(d.sites) < 2 || rng.Float64() >= d.roamFraction {
+		m.c.Depart()
+		return
+	}
+	target := rng.Intn(len(d.sites) - 1)
+	if target >= m.site {
+		target++
+	}
+	d.startTransit(m, target)
+}
+
+// startTransit hands the phone to the target site: the walk itself is
+// radio-silent. The classic engine keeps the phone attached and scanning
+// while it walks; under partition-local radio there is nothing for it to
+// hear mid-walk (the RF-gap validation guarantees the leg is out of every
+// site's range except for the entry/exit fringes), so the phone suspends
+// at departure and resumes — same MAC, PNL, stats, sequence counter,
+// unmasked twins — when the transit message arrives at the target
+// partition, at least one lookahead later by construction.
+func (d *partDeployment) startTransit(m *member, target int) {
+	src := m.site
+	env := d.envs[src]
+	dest := d.sites[target].venue
+	entry := mobility.StaticPos(env.rng, dest.Position, dest.RadioRange*0.9)
+	path := d.transit.Path(env.rng, m.c.Pos(), entry)
+	snap, err := m.c.Suspend()
+	if err != nil {
+		return
+	}
+	m.leg++
+	m.legStart = env.engine.Now()
+	arriveAt := m.legStart + path.Duration
+	d.coord.Post(d.partOf[src], src, arriveAt, d.partOf[target], func() {
+		d.arrive(m, target, entry, snap)
+	})
+}
+
+// arrive resumes the phone on the target site's partition and starts a
+// fresh dwell there, drawn from the target's own streams.
+func (d *partDeployment) arrive(m *member, target int, entry geo.Point, snap client.Snapshot) {
+	pop := d.pops[target]
+	env := d.envs[target]
+	c, err := client.Resume(env.engine, env.medium, pop.rng, snap)
+	if err != nil {
+		return
+	}
+	c.SetPos(entry)
+	m.c = c
+	d.siteRoams[target]++
+	m.roams++
+	m.site = target
+	venue := pop.venue
+	now := env.engine.Now()
+	moving := pop.rng.Float64() < venue.MovingFraction
+	var dwell time.Duration
+	if moving {
+		dwell = venue.MovingDwell.SampleDwell(pop.rng)
+	} else {
+		dwell = venue.StaticDwell.SampleDwell(pop.rng)
+	}
+	m.leg++
+	m.legStart = now
+	m.departAt = now + dwell
+	if moving {
+		path := mobility.CorridorPath(pop.rng, venue.Position, venue.RadioRange, dwell)
+		m.c.SetPos(path.At(0))
+		pop.scheduleMove(m, path)
+	} else {
+		m.c.SetPos(mobility.StaticPos(pop.rng, venue.Position, venue.RadioRange*0.9))
+	}
+	env.engine.At(m.departAt, func() { pop.finishDwell(m) })
+}
+
+// schedulePartSampling arms the periodic engine-state sampler per site, on
+// the site's own partition. The partitioned path never shares a strategy
+// set between sites (the Shared plane is rejected), so per-site sampling
+// equals the classic unique-engine sweep.
+func schedulePartSampling(envs []*runEnv, sites []*site) {
+	for i, st := range sites {
+		env := envs[i]
+		if env.cfg.SampleEvery <= 0 {
+			return
+		}
+		eng, mana := st.set.chEngine, st.set.mana
+		if eng == nil && mana == nil {
+			continue
+		}
+		var sample func()
+		sample = func() {
+			if eng != nil {
+				eng.SampleState(env.engine.Now())
+			}
+			if mana != nil {
+				mana.SampleSize(env.engine.Now())
+			}
+			env.engine.Schedule(env.cfg.SampleEvery, sample)
+		}
+		env.engine.Schedule(0, sample)
+	}
+}
+
+// schedulePartKnowledgeSync arms the PeriodicSync exchange as a global
+// event: it runs at an exact window barrier, when every partition clock
+// reads the sync time and none is running, so absorbing hits into the
+// other sites' engines needs no locks and lands in deterministic site
+// order.
+func schedulePartKnowledgeSync(coord *sim.Partitioned, sites []*site, every time.Duration) {
+	engines := uniqueEngines(sites)
+	if len(engines) < 2 {
+		return
+	}
+	consumed := make([]int, len(engines))
+	coord.GlobalEvery(every, every, func() {
+		now := coord.Now()
+		for i, src := range engines {
+			hits := src.Hits()
+			for _, h := range hits[consumed[i]:] {
+				for j, dst := range engines {
+					if j != i {
+						dst.AbsorbHit(now, h.SSID)
+					}
+				}
+			}
+			consumed[i] = len(hits)
+		}
+	})
+}
+
+// partFeed is the partitioned runFeed: the snapshot tick is a coordinator
+// global event, so the registry is only read at barriers.
+type partFeed struct {
+	rp  obs.RunPublisher
+	crt *obs.Runtime
+}
+
+func startPartFeed(coord *sim.Partitioned, crt *obs.Runtime, cfg Config, slot int, sites []*site, extra map[string]string) *partFeed {
+	if cfg.Publisher == nil {
+		return nil
+	}
+	labels := map[string]string{}
+	for k, v := range cfg.RunLabels {
+		labels[k] = v
+	}
+	labels["attack"] = cfg.Attack.String()
+	labels["seed"] = fmt.Sprintf("%d", cfg.Seed)
+	for k, v := range extra {
+		labels[k] = v
+	}
+	label := cfg.RunLabel
+	if label == "" {
+		label = fmt.Sprintf("%d sites/%s/slot%d", len(sites), cfg.Attack, slot)
+	}
+	rp := cfg.Publisher.StartRun(obs.RunInfo{Kind: "deployment", Label: label, Labels: labels})
+	crt.Publish = rp
+	for _, st := range sites {
+		crt.Event(0, obs.EventSiteDeploy, st.venue.Name,
+			fmt.Sprintf("attacker %s at (%.0f,%.0f)", st.id.attackerMAC, st.venue.Position.X, st.venue.Position.Y))
+	}
+	every := cfg.PublishEvery
+	if every <= 0 {
+		every = DefaultPublishEvery
+	}
+	coord.GlobalEvery(0, every, func() {
+		rp.PublishSnapshot(coord.Now(), crt.Metrics.Snapshot())
+	})
+	return &partFeed{rp: rp, crt: crt}
+}
+
+func (f *partFeed) finish(simulated time.Duration, runErr error) {
+	if f == nil {
+		return
+	}
+	f.rp.PublishSnapshot(simulated, f.crt.Metrics.Snapshot())
+	f.rp.FinishRun(simulated, runErr)
+}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cityhunter/internal/geo"
+	"cityhunter/internal/mobility"
+)
+
+// partitionedTrio is the 3-site deployment the determinism matrix runs:
+// pairwise gaps well above zero so every partitioned precondition holds.
+func partitionedTrio(t *testing.T, seed int64) DeploymentConfig {
+	t.Helper()
+	d := deployConfig(t, CityHunter, seed)
+	third := MallVenue()
+	third.Position = d.Sites[0].Position.Add(geo.Pt(200, 400))
+	d.Sites = append(d.Sites, third)
+	d.RoamFraction = 0.5
+	d.Knowledge = PeriodicSync
+	return d
+}
+
+// trioFarField routes far-field pedestrians between the first and third
+// sites' districts, so itineraries cross MULTIPLE promotion boundaries and
+// the level-of-detail handoff carries snapshots across partitions.
+func trioFarField(d DeploymentConfig, pedestrians int) *FarFieldConfig {
+	return &FarFieldConfig{
+		Pedestrians: pedestrians,
+		Stops: []mobility.RouteStop{
+			{Pos: d.Sites[0].Position, Radius: 30, Weight: 1},
+			{Pos: d.Sites[2].Position, Radius: 30, Weight: 1},
+			{Pos: d.Sites[0].Position.Add(geo.Pt(-900, 0)), Radius: 100, Weight: 1},
+		},
+		Entry: geo.NewRect(d.Sites[0].Position.Add(geo.Pt(-600, -600)),
+			d.Sites[0].Position.Add(geo.Pt(-400, -400))),
+	}
+}
+
+// comparePartitioned asserts two partitioned runs produced identical
+// results, field family by field family so a divergence names itself.
+func comparePartitioned(t *testing.T, label string, ref, got *DeploymentResult) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Outcomes, got.Outcomes) {
+		t.Errorf("%s: pooled outcomes diverge", label)
+	}
+	if ref.Tally != got.Tally || ref.Roams != got.Roams {
+		t.Errorf("%s: tally/roams diverge: %+v/%d vs %+v/%d",
+			label, ref.Tally, ref.Roams, got.Tally, got.Roams)
+	}
+	for s := range ref.Sites {
+		if ref.Sites[s].Tally != got.Sites[s].Tally {
+			t.Errorf("%s site %d: tallies diverge", label, s)
+		}
+		if ref.Sites[s].Report != got.Sites[s].Report {
+			t.Errorf("%s site %d: attacker reports diverge", label, s)
+		}
+		if !reflect.DeepEqual(ref.Sites[s].Victims, got.Sites[s].Victims) {
+			t.Errorf("%s site %d: victim lists diverge", label, s)
+		}
+	}
+	if (ref.FarField == nil) != (got.FarField == nil) {
+		t.Fatalf("%s: far-field presence diverges", label)
+	}
+	if ref.FarField != nil {
+		if !reflect.DeepEqual(ref.FarField.Outcomes, got.FarField.Outcomes) {
+			t.Errorf("%s: far-field outcomes diverge", label)
+		}
+		rf, gf := *ref.FarField, *got.FarField
+		rf.Outcomes, gf.Outcomes = nil, nil
+		if !reflect.DeepEqual(rf, gf) {
+			t.Errorf("%s: far-field accounting diverges: %+v vs %+v", label, rf, gf)
+		}
+	}
+}
+
+// TestPartitionedDeterminismMatrix is the tentpole's gate: the same
+// deployment must produce byte-identical results at every partition count
+// and every GOMAXPROCS, with the 1-partition run as the serial reference.
+// It runs the plain roaming trio and the city-scale trio (far-field tier
+// crossing multiple promotion boundaries).
+func TestPartitionedDeterminismMatrix(t *testing.T) {
+	scenarios := []struct {
+		name     string
+		farField bool
+	}{
+		{"roaming-trio", false},
+		{"city-scale-trio", true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(partitions int) *DeploymentResult {
+				d := partitionedTrio(t, 31)
+				if sc.farField {
+					d.FarField = trioFarField(d, 40)
+				}
+				d.Partitions = partitions
+				res, err := RunDeployment(d, 0, 12*time.Minute)
+				if err != nil {
+					t.Fatalf("partitions=%d: %v", partitions, err)
+				}
+				return res
+			}
+			ref := run(1) // serial reference under partitioned semantics
+			if ref.Roams == 0 {
+				t.Fatal("reference run never roamed; matrix exercises nothing")
+			}
+			if sc.farField && ref.FarField.Promotions == 0 {
+				t.Fatal("reference run never promoted; matrix exercises nothing")
+			}
+			old := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(old)
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				for _, parts := range []int{1, 2, AutoPartitions} {
+					got := run(parts)
+					comparePartitioned(t, t.Name()+"/"+
+						"procs="+itoa(procs)+"/parts="+itoa(parts), ref, got)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n > 9 {
+		return itoa(n/10) + itoa(n%10)
+	}
+	return string(rune('0' + n))
+}
+
+// TestPartitionedMatchesClassicShape: partitioned output follows its own
+// semantics, but the structural invariants of a deployment hold — per-site
+// accounting sums to the pooled accounting, roamers are counted once.
+func TestPartitionedMatchesClassicShape(t *testing.T) {
+	d := partitionedTrio(t, 17)
+	d.Partitions = AutoPartitions
+	res, err := RunDeployment(d, 0, 12*time.Minute)
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	if res.Roams == 0 {
+		t.Fatal("no phone ever roamed")
+	}
+	sum, outcomes := 0, 0
+	for _, s := range res.Sites {
+		sum += s.Tally.Total
+		outcomes += len(s.Outcomes)
+	}
+	if sum != res.Tally.Total || outcomes != len(res.Outcomes) {
+		t.Fatalf("per-site totals %d/%d != pooled %d/%d",
+			sum, outcomes, res.Tally.Total, len(res.Outcomes))
+	}
+}
+
+// TestPartitionedTransitWindowEdge pins the window-edge behaviour at the
+// scenario layer: with a constant transit speed, minimum-distance transits
+// take exactly one lookahead, so arrivals land on or next to coordinator
+// barriers all run long. Results must still be partition-count invariant.
+func TestPartitionedTransitWindowEdge(t *testing.T) {
+	run := func(partitions int) *DeploymentResult {
+		d := deployConfig(t, CityHunter, 13)
+		d.RoamFraction = 1
+		d.Transit = mobility.TransitModel{SpeedMin: 1.5, SpeedMax: 1.5}
+		d.Partitions = partitions
+		res, err := RunDeployment(d, 0, 15*time.Minute)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", partitions, err)
+		}
+		return res
+	}
+	ref := run(1)
+	if ref.Roams == 0 {
+		t.Fatal("no transits at RoamFraction 1")
+	}
+	comparePartitioned(t, "edge", ref, run(2))
+}
+
+// TestPartitionLookahead pins the lookahead derivation: the RF gap over
+// the transit speed, floored at the 1-second minimum leg duration, shrunk
+// by the promotion-boundary gap when a far-field tier rides along.
+func TestPartitionLookahead(t *testing.T) {
+	site := func(x float64, rr float64) Venue {
+		v := CanteenVenue()
+		v.Position = geo.Pt(x, 0)
+		v.RadioRange = rr
+		return v
+	}
+	walk := mobility.TransitModel{SpeedMin: 1, SpeedMax: 1.5}
+	d := DeploymentConfig{Sites: []Venue{site(0, 50), site(400, 50)}}
+
+	// gap 300 m at SpeedMax 1.5 m/s → 200 s.
+	if got, err := partitionLookahead(d, walk, nil, time.Hour); err != nil || got != 200*time.Second {
+		t.Fatalf("two sites: lookahead %v err %v, want 200s", got, err)
+	}
+
+	single := DeploymentConfig{Sites: []Venue{site(0, 50)}}
+	if got, err := partitionLookahead(single, walk, nil, time.Hour); err != nil || got != time.Hour {
+		t.Fatalf("single site: lookahead %v err %v, want full duration", got, err)
+	}
+
+	near := DeploymentConfig{Sites: []Venue{site(0, 50), site(100.5, 50)}}
+	if got, err := partitionLookahead(near, walk, nil, time.Hour); err != nil || got != time.Second {
+		t.Fatalf("sub-second gap: lookahead %v err %v, want 1s floor", got, err)
+	}
+
+	touching := DeploymentConfig{Sites: []Venue{site(0, 50), site(90, 50)}}
+	if _, err := partitionLookahead(touching, walk, nil, time.Hour); err == nil {
+		t.Fatal("overlapping radio ranges accepted")
+	}
+
+	// A far-field tier shrinks the lookahead to the promotion-boundary
+	// gap over the route transit speed: 400 − 2·75 = 250 m at 2 m/s.
+	ff := &FarFieldConfig{Radius: 75, Route: mobility.RouteModel{
+		Transit: mobility.TransitModel{SpeedMin: 1, SpeedMax: 2}}}
+	if got, err := partitionLookahead(d, walk, ff, time.Hour); err != nil || got != 125*time.Second {
+		t.Fatalf("far-field lookahead %v err %v, want 125s", got, err)
+	}
+
+	wide := &FarFieldConfig{Radius: 200, Route: mobility.RouteModel{
+		Transit: mobility.TransitModel{SpeedMin: 1, SpeedMax: 2}}}
+	if _, err := partitionLookahead(d, walk, wide, time.Hour); err == nil {
+		t.Fatal("overlapping promotion boundaries accepted")
+	}
+}
+
+// TestPartitionedRejections pins the configurations the partitioned
+// engine refuses instead of silently serializing.
+func TestPartitionedRejections(t *testing.T) {
+	shared := partitionedTrio(t, 3)
+	shared.Knowledge = Shared
+	shared.Partitions = AutoPartitions
+	if _, err := RunDeployment(shared, 0, time.Minute); err == nil {
+		t.Error("shared knowledge plane accepted under partitioned execution")
+	}
+
+	traced := partitionedTrio(t, 3)
+	traced.Base.SpanTrace = true
+	traced.Partitions = AutoPartitions
+	if _, err := RunDeployment(traced, 0, time.Minute); err == nil {
+		t.Error("span tracing accepted under partitioned execution")
+	}
+
+	overlap := partitionedTrio(t, 3)
+	overlap.Sites[1].Position = overlap.Sites[0].Position.Add(geo.Pt(80, 0))
+	overlap.Partitions = AutoPartitions
+	if _, err := RunDeployment(overlap, 0, time.Minute); err == nil {
+		t.Error("overlapping radio ranges accepted under partitioned execution")
+	}
+}
+
+// TestPartitionedCancellation checks the cancellation contract: a mid-run
+// cancel returns the partial result with a wrapped context error, and —
+// the satellite's point — every partition goroutine is joined before
+// RunDeploymentContext returns, so nothing leaks.
+func TestPartitionedCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d := partitionedTrio(t, 9)
+	d.FarField = trioFarField(d, 40)
+	d.Partitions = AutoPartitions
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunDeploymentContext(ctx, d, 0, 12*time.Hour)
+	if err == nil {
+		t.Fatal("12-hour deployment finished before the cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled deployment returned no partial result")
+	}
+	if res.Duration >= 12*time.Hour {
+		t.Fatalf("partial result claims full duration %v", res.Duration)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked after cancel: %d before, %d after", before, n)
+	}
+}

@@ -35,16 +35,34 @@ type member struct {
 }
 
 // macAllocator hands out unique, deterministic client MACs (locally
-// administered). Deployments share one allocator across their per-site
-// populations so phones stay unique city-wide.
+// administered). Classic deployments share one allocator across their
+// per-site populations so phones stay unique city-wide; partitioned
+// deployments give each site its own allocator in a per-site space
+// (allocation order inside one shared space would depend on how arrivals
+// interleave across partitions).
 type macAllocator struct {
 	next uint32
+	// space overrides the leading two MAC bytes; the zero value selects
+	// the classic locally administered 0x02,0x00 block.
+	space [2]byte
 }
 
 func (a *macAllocator) mac() ieee80211.MAC {
 	a.next++
 	n := a.next
-	return ieee80211.MAC{0x02, 0x00, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	sp := a.space
+	if sp == ([2]byte{}) {
+		sp = [2]byte{0x02, 0x00}
+	}
+	return ieee80211.MAC{sp[0], sp[1], byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// siteMACSpace is the per-site client MAC space partitioned deployments
+// use: locally administered 0x06 block with the site index in byte two —
+// disjoint from the classic 0x02,0x00 allocator and the far-field
+// 0x02,0x10 space for any site count a deployment allows.
+func siteMACSpace(siteIndex int) [2]byte {
+	return [2]byte{0x06, byte(siteIndex)}
 }
 
 // population creates phones on arrival at one venue, moves the walkers,
@@ -191,16 +209,22 @@ func (p *population) finishDwell(m *member) {
 }
 
 // scheduleMove updates a walker's position every 2 s along its path. The
-// ticker dies when the phone departs or starts a newer movement leg.
+// ticker dies when the phone departs or starts a newer movement leg. It
+// captures the client pointer and consults its state before any member
+// field: in a partitioned deployment a suspended phone's old client is
+// Departed forever while ANOTHER partition rewrites the member for the
+// next dwell, so the state check is the only read a stale ticker may make.
 func (p *population) scheduleMove(m *member, path mobility.Path) {
 	const step = 2 * time.Second
 	leg := m.leg
+	c := m.c
+	legStart := m.legStart
 	var tick func()
 	tick = func() {
-		if m.c.State() == client.StateDeparted || m.leg != leg {
+		if c.State() == client.StateDeparted || m.leg != leg {
 			return
 		}
-		m.c.SetPos(path.At(p.engine.Now() - m.legStart))
+		c.SetPos(path.At(p.engine.Now() - legStart))
 		p.engine.Schedule(step, tick)
 	}
 	p.engine.Schedule(step, tick)

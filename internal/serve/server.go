@@ -63,6 +63,14 @@ type Config struct {
 	// MaxBodyBytes bounds submission bodies; 0 selects
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// DefaultPartitions, when non-zero, is applied to submitted
+	// deployment plans that do not choose an execution engine
+	// themselves (partitions 0): scenario.AutoPartitions for one
+	// partition per site, or a positive explicit count. The default is
+	// folded into the plan before hashing, so the content-addressed
+	// store keys reflect the engine the job actually ran on. Plans that
+	// carry their own partitions setting are never overridden.
+	DefaultPartitions int
 	// Monitor, when non-nil, is the telemetry plane to mount and publish
 	// into; nil creates a private one.
 	Monitor *monitor.Server
@@ -276,6 +284,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.cfg.DefaultPartitions != 0 && p.Kind == plan.KindDeployment && p.Deployment.Partitions == 0 {
+		// Fold the server default in before admit hashes the plan, so
+		// identical submissions against differently-configured servers
+		// key on the engine they actually ran on. Re-validate: the
+		// partitioned engine rejects configurations (shared knowledge,
+		// overlapping radio ranges) the serial engine accepts.
+		p.Deployment.Partitions = s.cfg.DefaultPartitions
+		if err := p.Deployment.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	j, created, err := s.admit(p, sub)
 	if err != nil {
