@@ -238,6 +238,26 @@ func BenchmarkCanteenRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCanteenRunRandomized is BenchmarkCanteenRun with every phone
+// rotating its MAC per scan and the composite de-anonymisation linker
+// re-keying the hunter database: the side-by-side pair quantifies what the
+// identity/observable split costs on the workhorse run (extra tracks,
+// matcher scoring on every fresh MAC).
+func BenchmarkCanteenRunRandomized(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := w.Run(cityhunter.CanteenVenue(), cityhunter.CityHunter,
+			cityhunter.LunchSlot, 10*time.Minute,
+			cityhunter.WithRunSeed(int64(i+1)),
+			cityhunter.WithMACRandomization(1.0, cityhunter.RandomizePerScan),
+			cityhunter.WithLinker(cityhunter.LinkerComposite))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCanteenRunMonitored is BenchmarkCanteenRun with a live telemetry
 // publisher attached (an in-process monitor server, no HTTP): the
 // side-by-side pair quantifies the publisher overhead. With no publisher

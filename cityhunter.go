@@ -34,9 +34,11 @@ import (
 
 	"cityhunter/internal/campaign"
 	"cityhunter/internal/citygen"
+	"cityhunter/internal/client"
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
 	"cityhunter/internal/heatmap"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/obs/monitor"
@@ -65,6 +67,13 @@ type (
 	AttackKind = scenario.AttackKind
 	Result     = scenario.Result
 	CoreConfig = core.Config
+
+	// MAC randomization and de-anonymisation: the phone-side rotation
+	// policy, the attacker-side linker selector, and the ground-truth
+	// re-linking grade a run attaches to its Result.
+	RandomizationPolicy = client.RandomizationPolicy
+	LinkerKind          = scenario.LinkerKind
+	LinkReport          = linker.Report
 
 	// Multi-site deployments: N attacker sites in one city, phones
 	// roaming between them, and a knowledge plane joining the hunters'
@@ -152,6 +161,34 @@ const (
 	// Shared runs one database (and one per-client rotation state)
 	// behind all sites.
 	Shared = scenario.Shared
+)
+
+// MAC randomization policies (see WithMACRandomization).
+const (
+	// RandomizeNone keeps the phone's stable identity MAC.
+	RandomizeNone = client.RandomizeNone
+	// RandomizePerScan draws a fresh MAC at the start of every scan
+	// cycle.
+	RandomizePerScan = client.RandomizePerScan
+	// RandomizePerBurst draws a fresh MAC for every per-channel probe
+	// burst within a scan.
+	RandomizePerBurst = client.RandomizePerBurst
+	// RandomizeTimed rotates on a timer (see WithRandomizeEvery).
+	RandomizeTimed = client.RandomizeTimed
+)
+
+// De-anonymisation linkers (see WithLinker).
+const (
+	// LinkerMAC is the identity mapping: one MAC, one device.
+	LinkerMAC = scenario.LinkerMAC
+	// LinkerSeq links by 802.11 sequence-counter continuity.
+	LinkerSeq = scenario.LinkerSeq
+	// LinkerFingerprint links by the probe-request IE fingerprint.
+	LinkerFingerprint = scenario.LinkerFingerprint
+	// LinkerPNL links by directed-probe PNL order.
+	LinkerPNL = scenario.LinkerPNL
+	// LinkerComposite combines all three signals.
+	LinkerComposite = scenario.LinkerComposite
 )
 
 // MaxDeploymentSites bounds a deployment's site count.
@@ -498,6 +535,34 @@ func WithFrameLoss(p float64) RunOption {
 // network side.
 func WithRandomizedMACs(fraction float64) RunOption {
 	return runOptionFunc(func(o *runOptions) { o.cfg.RandomizeMACFraction = fraction })
+}
+
+// WithMACRandomization makes the given fraction of phones rotate their
+// source MAC under an explicit policy (per scan, per channel burst, or on
+// a timer). Unlike the legacy WithRandomizedMACs shorthand, policy-driven
+// phones also emit their chipset IE fingerprint — the stable observable a
+// de-anonymisation linker (WithLinker) can exploit.
+func WithMACRandomization(fraction float64, policy RandomizationPolicy) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		o.cfg.RandomizeMACFraction = fraction
+		o.cfg.Randomization = policy
+	})
+}
+
+// WithRandomizeEvery sets the rotation period for RandomizeTimed phones
+// (default 15 min).
+func WithRandomizeEvery(d time.Duration) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.RandomizeEvery = d })
+}
+
+// WithLinker selects the attacker's MAC de-anonymisation strategy: how
+// the hunter database groups observed MACs into device tracks. The
+// default LinkerMAC treats every MAC as its own device (the historical
+// behaviour); the others re-link rotated MACs by sequence-counter
+// continuity, IE fingerprints, PNL order, or their composite.
+// Result.Links grades the chosen linker against ground truth.
+func WithLinker(kind LinkerKind) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.cfg.Linker = kind })
 }
 
 // WithCautiousMirror makes the attacker answer directed probes only for

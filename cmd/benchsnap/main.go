@@ -54,6 +54,7 @@ type tier struct {
 
 var tiers = []tier{
 	{pkg: ".", bench: "^BenchmarkCanteenRun$", benchtime: "5x"},
+	{pkg: ".", bench: "^BenchmarkCanteenRunRandomized$", benchtime: "5x"},
 	{pkg: ".", bench: "^BenchmarkCanteenRunMonitored$", benchtime: "5x"},
 	{pkg: ".", bench: "^BenchmarkCityScale$", benchtime: "3x"},
 	{pkg: ".", bench: "^BenchmarkMultiSite", benchtime: "2x"},

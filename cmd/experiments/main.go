@@ -42,7 +42,7 @@ func run(ctx context.Context, args []string) error {
 		seed        = fs.Int64("seed", 1, "world seed")
 		slotMinutes = fs.Int("slot-minutes", 0, "cap each run at this many minutes (0 = full length)")
 		scale       = fs.Float64("scale", 1, "crowd arrival-rate multiplier")
-		only        = fs.String("only", "", "comma-separated subset: table1,table2,table3,table4,figure1,figure2,figure4,figure5,figure6,extensions,ablation,countermeasures,robustness,sensitivity,multisite,cityscale")
+		only        = fs.String("only", "", "comma-separated subset: table1,table2,table3,table4,figure1,figure2,figure4,figure5,figure6,extensions,ablation,countermeasures,randomization,robustness,sensitivity,multisite,cityscale")
 		heatPNG     = fs.String("heatmap-png", "", "also render the Figure 4 heat map to this PNG file")
 		replicas    = fs.Int("replicas", 5, "seeds for the robustness replication")
 		jsonPath    = fs.String("json", "", "also write every generated result as JSON to this file")
@@ -143,6 +143,7 @@ func run(ctx context.Context, args []string) error {
 		{"extensions", func() (fmt.Stringer, error) { return experiments.Extensions(ctx, world, opts) }},
 		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablation(ctx, world, opts) }},
 		{"countermeasures", func() (fmt.Stringer, error) { return experiments.Countermeasures(ctx, world, opts) }},
+		{"randomization", func() (fmt.Stringer, error) { return experiments.Randomization(ctx, world, opts) }},
 		{"robustness", func() (fmt.Stringer, error) { return experiments.Robustness(ctx, world, opts, *replicas) }},
 		{"sensitivity", func() (fmt.Stringer, error) { return experiments.Sensitivity(ctx, world, opts) }},
 		{"multisite", func() (fmt.Stringer, error) { return experiments.MultiSite(ctx, world, opts) }},

@@ -33,7 +33,7 @@ func TestBroadcastReplyPathAllocBudget(t *testing.T) {
 	m := sim.NewMedium(e, 50)
 	mana := NewMana()
 	for i := 0; i < 100; i++ {
-		mana.HarvestDirect(0, ieee80211.MAC{0x02, 9, 0, 0, 0, byte(i)}, fmt.Sprintf("Net-%03d", i))
+		mana.HarvestDirect(0, lnk(ieee80211.MAC{0x02, 9, 0, 0, 0, byte(i)}), fmt.Sprintf("Net-%03d", i))
 	}
 	a, err := New(e, m, mana, Config{MAC: attackerMAC})
 	if err != nil {

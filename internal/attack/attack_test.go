@@ -10,11 +10,16 @@ import (
 	"cityhunter/internal/client"
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/pnl"
 	"cityhunter/internal/sim"
 )
 
 var attackerMAC = ieee80211.MAC{0x0a, 0xbc, 0, 0, 0, 1}
+
+// lnk wraps a bare MAC into the minimal linker.Observation the strategy
+// interface consumes.
+func lnk(m ieee80211.MAC) linker.Observation { return linker.Observation{MAC: m} }
 
 type fixture struct {
 	engine *sim.Engine
@@ -157,9 +162,9 @@ func TestManaHarvestsAndReplays(t *testing.T) {
 func TestManaHarvestDeduplicates(t *testing.T) {
 	m := NewMana()
 	for i := 0; i < 5; i++ {
-		m.HarvestDirect(0, ieee80211.MAC{1}, "Same")
+		m.HarvestDirect(0, lnk(ieee80211.MAC{1}), "Same")
 	}
-	m.HarvestDirect(0, ieee80211.MAC{1}, "")
+	m.HarvestDirect(0, lnk(ieee80211.MAC{1}), "")
 	if m.DBSize() != 1 {
 		t.Errorf("DB size = %d, want 1", m.DBSize())
 	}
@@ -168,14 +173,14 @@ func TestManaHarvestDeduplicates(t *testing.T) {
 func TestManaReplyTruncation(t *testing.T) {
 	m := NewMana()
 	for i := 0; i < 100; i++ {
-		m.HarvestDirect(0, ieee80211.MAC{1}, string(rune('a'+i%26))+string(rune('0'+i/26)))
+		m.HarvestDirect(0, lnk(ieee80211.MAC{1}), string(rune('a'+i%26))+string(rune('0'+i/26)))
 	}
-	got := m.BroadcastReply(0, ieee80211.MAC{2}, 40)
+	got := m.BroadcastReply(0, lnk(ieee80211.MAC{2}), 40)
 	if len(got) != 40 {
 		t.Fatalf("reply = %d SSIDs, want 40", len(got))
 	}
 	// MANA's flaw: the same first 40 every time.
-	again := m.BroadcastReply(0, ieee80211.MAC{3}, 40)
+	again := m.BroadcastReply(0, lnk(ieee80211.MAC{3}), 40)
 	for i := range got {
 		if got[i] != again[i] {
 			t.Fatal("MANA reply varied between clients; it should always send the database head")
@@ -186,7 +191,7 @@ func TestManaReplyTruncation(t *testing.T) {
 func TestManaSizeSamples(t *testing.T) {
 	m := NewMana()
 	m.SampleSize(0)
-	m.HarvestDirect(0, ieee80211.MAC{1}, "a")
+	m.HarvestDirect(0, lnk(ieee80211.MAC{1}), "a")
 	m.SampleSize(time.Minute)
 	s := m.SizeSamples()
 	if len(s) != 2 || s[0].Size != 0 || s[1].Size != 1 || s[1].At != time.Minute {
@@ -267,7 +272,7 @@ func TestDeauthExtensionFreesPreconnectedClients(t *testing.T) {
 	a := fx.newAttacker(t, mana, Config{
 		Deauth: DeauthConfig{Enabled: true, Interval: 2 * time.Second},
 	})
-	mana.HarvestDirect(0, ieee80211.MAC{9}, "Popular Net")
+	mana.HarvestDirect(0, lnk(ieee80211.MAC{9}), "Popular Net")
 
 	c := fx.newClient(t, client.Config{
 		PNL:               pnl.List{{SSID: "Popular Net", Open: true}},
@@ -439,7 +444,7 @@ func TestManaLoudAnswersDirectProbesWithDB(t *testing.T) {
 	fx.newAttacker(t, mana, Config{})
 
 	// Seed the database via one discloser.
-	mana.HarvestDirect(0, ieee80211.MAC{9}, "Shared Open Net")
+	mana.HarvestDirect(0, lnk(ieee80211.MAC{9}), "Shared Open Net")
 
 	// A direct prober whose own entries are all secured would never be
 	// captured by quiet MANA — loud mode hits it with the harvested SSID.
@@ -461,16 +466,16 @@ func TestManaLoudAnswersDirectProbesWithDB(t *testing.T) {
 
 func TestManaQuietDoesNotVolunteer(t *testing.T) {
 	m := NewMana()
-	m.HarvestDirect(0, ieee80211.MAC{9}, "X")
-	if got := m.DirectReply(0, ieee80211.MAC{1}, "Y", 40); got != nil {
+	m.HarvestDirect(0, lnk(ieee80211.MAC{9}), "X")
+	if got := m.DirectReply(0, lnk(ieee80211.MAC{1}), "Y", 40); got != nil {
 		t.Errorf("quiet MANA volunteered %v", got)
 	}
 	m.Loud = true
-	if got := m.DirectReply(0, ieee80211.MAC{1}, "X", 40); len(got) != 0 {
+	if got := m.DirectReply(0, lnk(ieee80211.MAC{1}), "X", 40); len(got) != 0 {
 		t.Errorf("loud MANA re-sent the mirrored SSID: %v", got)
 	}
-	m.HarvestDirect(0, ieee80211.MAC{9}, "Z")
-	got := m.DirectReply(0, ieee80211.MAC{1}, "X", 40)
+	m.HarvestDirect(0, lnk(ieee80211.MAC{9}), "Z")
+	got := m.DirectReply(0, lnk(ieee80211.MAC{1}), "X", 40)
 	if len(got) != 1 || got[0] != "Z" {
 		t.Errorf("DirectReply = %v, want [Z]", got)
 	}
@@ -480,7 +485,7 @@ func TestAttackerRespectsReplyBudget(t *testing.T) {
 	fx := newFixture(t)
 	mana := NewMana()
 	for i := 0; i < 200; i++ {
-		mana.HarvestDirect(0, ieee80211.MAC{9}, fmt.Sprintf("net-%03d", i))
+		mana.HarvestDirect(0, lnk(ieee80211.MAC{9}), fmt.Sprintf("net-%03d", i))
 	}
 	fx.newAttacker(t, mana, Config{MaxBroadcastReplies: 15})
 	sent := fx.medium.FramesSent

@@ -15,22 +15,28 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/sim"
 )
 
-// Strategy decides how an attacker uses SSID knowledge.
+// Strategy decides how an attacker uses SSID knowledge. Probing clients
+// are handed over as linker.Observations — the over-the-air MAC plus every
+// side channel a de-anonymising strategy can key on (sequence counter, IE
+// fingerprint, probed SSID) — so a strategy may track devices across MAC
+// randomization rather than trusting the source address.
 type Strategy interface {
 	// Name identifies the strategy in reports.
 	Name() string
 	// HarvestDirect is called for every SSID disclosed in a directed
-	// probe, with the prober's MAC.
-	HarvestDirect(now time.Duration, sa ieee80211.MAC, ssid string)
+	// probe, with the prober's observation.
+	HarvestDirect(now time.Duration, o linker.Observation, ssid string)
 	// BroadcastReply returns the SSIDs (at most limit) to advertise to a
-	// broadcast probe from sa.
-	BroadcastReply(now time.Duration, sa ieee80211.MAC, limit int) []string
-	// RecordHit is called when victim completes association via ssid.
-	RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
+	// broadcast probe from the observed client.
+	BroadcastReply(now time.Duration, o linker.Observation, limit int) []string
+	// RecordHit is called when the observed victim completes association
+	// via ssid.
+	RecordHit(now time.Duration, victim linker.Observation, ssid string)
 }
 
 // Knower is an optional Strategy extension: strategies that can say
@@ -48,8 +54,8 @@ type Knower interface {
 // is answered with the whole database.
 type DirectReplier interface {
 	// DirectReply returns extra SSIDs (at most limit) to advertise to a
-	// directed probe for probed from sa.
-	DirectReply(now time.Duration, sa ieee80211.MAC, probed string, limit int) []string
+	// directed probe for probed from the observed client.
+	DirectReply(now time.Duration, o linker.Observation, probed string, limit int) []string
 }
 
 // Victim is one captured client.
@@ -283,9 +289,23 @@ func (a *Attacker) client(mac ieee80211.MAC) *clientInfo {
 	return ci
 }
 
+// observation condenses a received frame into what a linking strategy can
+// key on.
+func observation(now time.Duration, f *ieee80211.Frame) linker.Observation {
+	return linker.Observation{
+		At:          now,
+		MAC:         f.SA,
+		Seq:         f.Seq,
+		Fingerprint: f.Fingerprint,
+		SSID:        f.SSID,
+		Directed:    f.IsDirectedProbe(),
+	}
+}
+
 func (a *Attacker) onProbe(f *ieee80211.Frame) {
 	now := a.engine.Now()
 	ci := a.client(f.SA)
+	o := observation(now, f)
 	if f.IsDirectedProbe() {
 		a.directProbesHeard++
 		a.mDirect.Inc()
@@ -294,12 +314,12 @@ func (a *Attacker) onProbe(f *ieee80211.Frame) {
 		if k, ok := a.strategy.(Knower); ok {
 			known = k.Knows(f.SSID)
 		}
-		a.strategy.HarvestDirect(now, f.SA, f.SSID)
+		a.strategy.HarvestDirect(now, o, f.SSID)
 		if a.cfg.RespondToDirect && (!a.cfg.CautiousMirror || known) {
 			a.respond(f.SA, f.SSID)
 		}
 		if dr, ok := a.strategy.(DirectReplier); ok {
-			for _, ssid := range dr.DirectReply(now, f.SA, f.SSID, a.cfg.MaxBroadcastReplies-1) {
+			for _, ssid := range dr.DirectReply(now, o, f.SSID, a.cfg.MaxBroadcastReplies-1) {
 				a.respond(f.SA, ssid)
 			}
 		}
@@ -307,7 +327,7 @@ func (a *Attacker) onProbe(f *ieee80211.Frame) {
 	}
 	a.broadcastProbesHeard++
 	a.mBroadcast.Inc()
-	batch := a.strategy.BroadcastReply(now, f.SA, a.cfg.MaxBroadcastReplies)
+	batch := a.strategy.BroadcastReply(now, o, a.cfg.MaxBroadcastReplies)
 	for _, ssid := range batch {
 		a.respond(f.SA, ssid)
 	}
@@ -374,7 +394,7 @@ func (a *Attacker) onAssocRequest(f *ieee80211.Frame) {
 		detail += " at " + a.cfg.Site
 	}
 	a.rt.Event(now, obs.EventAssociation, f.SA.String(), detail)
-	a.strategy.RecordHit(now, f.SA, f.SSID)
+	a.strategy.RecordHit(now, observation(now, f), f.SSID)
 }
 
 func (a *Attacker) onBeacon(f *ieee80211.Frame) {

@@ -3,7 +3,7 @@ package attack
 import (
 	"time"
 
-	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 )
 
 // Karma is the KARMA attack strategy (Dai Zovi & Macaulay, 2005): reply to
@@ -21,10 +21,10 @@ func NewKarma() *Karma { return &Karma{} }
 func (*Karma) Name() string { return "KARMA" }
 
 // HarvestDirect implements Strategy. KARMA keeps no database.
-func (*Karma) HarvestDirect(time.Duration, ieee80211.MAC, string) {}
+func (*Karma) HarvestDirect(time.Duration, linker.Observation, string) {}
 
 // BroadcastReply implements Strategy. KARMA cannot answer broadcast probes.
-func (*Karma) BroadcastReply(time.Duration, ieee80211.MAC, int) []string { return nil }
+func (*Karma) BroadcastReply(time.Duration, linker.Observation, int) []string { return nil }
 
 // RecordHit implements Strategy.
-func (*Karma) RecordHit(time.Duration, ieee80211.MAC, string) {}
+func (*Karma) RecordHit(time.Duration, linker.Observation, string) {}

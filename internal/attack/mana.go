@@ -3,7 +3,7 @@ package attack
 import (
 	"time"
 
-	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 )
 
 // Mana is the MANA attack strategy (White & de Villiers, DEF CON 22): every
@@ -47,7 +47,7 @@ func NewMana() *Mana {
 func (*Mana) Name() string { return "MANA" }
 
 // HarvestDirect implements Strategy: store each new disclosed SSID.
-func (m *Mana) HarvestDirect(_ time.Duration, _ ieee80211.MAC, ssid string) {
+func (m *Mana) HarvestDirect(_ time.Duration, _ linker.Observation, ssid string) {
 	if ssid == "" || m.seen[ssid] {
 		return
 	}
@@ -57,7 +57,7 @@ func (m *Mana) HarvestDirect(_ time.Duration, _ ieee80211.MAC, ssid string) {
 
 // BroadcastReply implements Strategy: the whole database, truncated to the
 // client's response budget — MANA's characteristic flaw.
-func (m *Mana) BroadcastReply(_ time.Duration, _ ieee80211.MAC, limit int) []string {
+func (m *Mana) BroadcastReply(_ time.Duration, _ linker.Observation, limit int) []string {
 	if len(m.order) <= limit {
 		return m.order
 	}
@@ -66,7 +66,7 @@ func (m *Mana) BroadcastReply(_ time.Duration, _ ieee80211.MAC, limit int) []str
 
 // DirectReply implements DirectReplier when Loud is set: the database head
 // (minus the probed SSID, which the base station already mirrors).
-func (m *Mana) DirectReply(_ time.Duration, _ ieee80211.MAC, probed string, limit int) []string {
+func (m *Mana) DirectReply(_ time.Duration, _ linker.Observation, probed string, limit int) []string {
 	if !m.Loud {
 		return nil
 	}
@@ -83,7 +83,7 @@ func (m *Mana) DirectReply(_ time.Duration, _ ieee80211.MAC, probed string, limi
 }
 
 // RecordHit implements Strategy. MANA keeps no hit statistics.
-func (*Mana) RecordHit(time.Duration, ieee80211.MAC, string) {}
+func (*Mana) RecordHit(time.Duration, linker.Observation, string) {}
 
 // Knows implements Knower.
 func (m *Mana) Knows(ssid string) bool { return m.seen[ssid] }

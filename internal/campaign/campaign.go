@@ -56,6 +56,15 @@ type Spec struct {
 	Deauth               bool
 	Sentinel             bool
 	CautiousMirror       bool
+	// Randomization names the MAC rotation policy applied to the
+	// randomizing share (none|per-scan|per-burst|timed; see
+	// scenario.RandomizationByName). Empty inherits the base
+	// configuration — for legacy specs, the historical per-scan flag.
+	Randomization string
+	// Linker names the attacker's de-anonymisation linker
+	// (mac|seq|fingerprint|pnl|composite; see scenario.LinkerByName).
+	// Empty inherits the base configuration.
+	Linker string
 
 	// Configure, when non-nil, mutates the fully assembled run
 	// configuration last — the programmatic escape hatch for knobs the
@@ -257,6 +266,13 @@ func (c *Campaign) config(i int) scenario.Config {
 	}
 	if s.CautiousMirror {
 		cfg.CautiousMirror = true
+	}
+	if s.Randomization != "" {
+		// Validate has vetted the name.
+		cfg.Randomization = scenario.RandomizationByName[s.Randomization]
+	}
+	if s.Linker != "" {
+		cfg.Linker = scenario.LinkerByName[s.Linker]
 	}
 	if s.Configure != nil {
 		s.Configure(&cfg)

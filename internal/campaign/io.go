@@ -39,6 +39,8 @@ type runFile struct {
 	Deauth               bool     `json:"deauth,omitempty"`
 	Sentinel             bool     `json:"sentinel,omitempty"`
 	CautiousMirror       bool     `json:"cautiousMirror,omitempty"`
+	Randomization        string   `json:"randomization,omitempty"`
+	Linker               string   `json:"linker,omitempty"`
 }
 
 // attackNames maps the file encoding to attack kinds; attackFileName is the
@@ -148,6 +150,8 @@ func encodeSpecs(specs []Spec) (campaignFile, error) {
 			Deauth:               s.Deauth,
 			Sentinel:             s.Sentinel,
 			CautiousMirror:       s.CautiousMirror,
+			Randomization:        s.Randomization,
+			Linker:               s.Linker,
 		}
 		if s.ScanInterval != nil {
 			secs := s.ScanInterval.Seconds()
@@ -238,6 +242,8 @@ func DecodeSpecsJSON(data []byte, strict bool) ([]Spec, error) {
 		s.Deauth = rf.Deauth
 		s.Sentinel = rf.Sentinel
 		s.CautiousMirror = rf.CautiousMirror
+		s.Randomization = rf.Randomization
+		s.Linker = rf.Linker
 		// Semantic checks (slot, fraction ranges, …) live in Spec.Validate
 		// so loaders, programmatic campaigns and the job server agree.
 		if err := s.Validate(); err != nil {

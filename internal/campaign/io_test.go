@@ -35,6 +35,8 @@ func roundTripSpecs() []Spec {
 			Sentinel:             true,
 			CautiousMirror:       true,
 			DirectProberFraction: &frac,
+			Randomization:        "per-burst",
+			Linker:               "composite",
 		},
 	}
 }
@@ -77,6 +79,28 @@ func TestCampaignRoundTrip(t *testing.T) {
 	}
 	if got.Duration != 90*time.Second {
 		t.Errorf("duration = %v, want 90s", got.Duration)
+	}
+	if got.Randomization != "per-burst" || got.Linker != "composite" {
+		t.Errorf("randomization/linker lost: %q %q", got.Randomization, got.Linker)
+	}
+}
+
+// TestLegacySpecsOmitRandomizationFields: specs predating the
+// identity/observable split serialise byte-identically — the new keys are
+// omitted, not written as empty strings, so legacy plans round-trip
+// unchanged (the plan-envelope goldens pin the same contract).
+func TestLegacySpecsOmitRandomizationFields(t *testing.T) {
+	specs := roundTripSpecs()
+	specs[1].Randomization = ""
+	specs[1].Linker = ""
+	var buf bytes.Buffer
+	if err := Save(&buf, specs); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	for _, key := range []string{`"randomization"`, `"linker"`} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("legacy spec output contains %s:\n%s", key, buf.String())
+		}
 	}
 }
 
@@ -156,6 +180,10 @@ func TestLoadValidationNamesField(t *testing.T) {
 			[]string{"run 0 (f)", "scanIntervalSeconds -3"}},
 		{"both venue forms", `{"runs": [{"name": "g", "venue": "mall", "venueSpec": {}, "attack": "karma", "slot": 0, "minutes": 5}]}`,
 			[]string{"run 0 (g)", "mutually exclusive"}},
+		{"unknown randomization", `{"runs": [{"name": "i", "venue": "mall", "attack": "karma", "slot": 0, "minutes": 5, "randomization": "hourly"}]}`,
+			[]string{"run 0 (i)", `unknown randomization "hourly"`}},
+		{"unknown linker", `{"runs": [{"name": "j", "venue": "mall", "attack": "karma", "slot": 0, "minutes": 5, "linker": "ml"}]}`,
+			[]string{"run 0 (j)", `unknown linker "ml"`}},
 		{"unknown field", `{"runs": [{"name": "h", "venue": "mall", "attack": "karma", "slot": 0, "minutes": 5, "turbo": true}]}`,
 			[]string{"turbo"}},
 		{"empty file", `{"runs": []}`, []string{"no runs"}},

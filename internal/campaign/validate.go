@@ -70,6 +70,16 @@ func (s Spec) Validate() error {
 	if s.ScanInterval != nil && *s.ScanInterval <= 0 {
 		return fieldf("scanIntervalSeconds", "scan interval %v must be positive", *s.ScanInterval)
 	}
+	if s.Randomization != "" {
+		if _, ok := scenario.RandomizationByName[s.Randomization]; !ok {
+			return fieldf("randomization", "unknown randomization %q (want none|per-scan|per-burst|timed)", s.Randomization)
+		}
+	}
+	if s.Linker != "" {
+		if _, ok := scenario.LinkerByName[s.Linker]; !ok {
+			return fieldf("linker", "unknown linker %q (want mac|seq|fingerprint|pnl|composite)", s.Linker)
+		}
+	}
 	if s.Deployment != nil {
 		if err := s.Deployment.Validate(); err != nil {
 			if fe, ok := err.(*scenario.FieldError); ok {

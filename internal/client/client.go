@@ -65,7 +65,10 @@ func (s State) String() string {
 
 // Config describes one phone.
 type Config struct {
-	// MAC is the phone's (randomised) probe MAC.
+	// MAC is the phone's stable identity. Without randomization it is also
+	// the over-the-air source MAC; under a RandomizationPolicy it seeds the
+	// deterministic rotation sequence and never appears on the air after
+	// the first rotation.
 	MAC ieee80211.MAC
 	// PNL is the phone's preferred network list.
 	PNL pnl.List
@@ -87,12 +90,25 @@ type Config struct {
 	// responder that mimics it is marked hostile and ignored from then
 	// on. This is the classic KARMA detector; see internal/detect.
 	CanaryProbing bool
-	// RandomizeMAC rotates the probe MAC before every scan, as modern
-	// phones do while unassociated. It defeats the attacker's per-client
-	// untried rotation: every scan looks like a brand-new client, so the
-	// attacker resends its head batch instead of progressing through the
-	// database.
+	// RandomizeMAC is the legacy shorthand for Randomization ==
+	// RandomizePerScan; it defeats the attacker's per-client untried
+	// rotation: every scan looks like a brand-new client, so the attacker
+	// resends its head batch instead of progressing through the database.
+	// Ignored when Randomization is set explicitly.
 	RandomizeMAC bool
+	// Randomization selects when the over-the-air MAC rotates; see
+	// RandomizationPolicy. Rotated MACs are derived from the identity MAC
+	// by counter (ieee80211.DerivedRandomMAC), so rotation consumes no RNG
+	// and a suspended phone resumes its sequence exactly.
+	Randomization RandomizationPolicy
+	// RandomizeEvery is the rotation period for RandomizeTimed; zero means
+	// DefaultRandomizeEvery.
+	RandomizeEvery time.Duration
+	// Fingerprint is the condensed IE fingerprint stamped on every probe
+	// request this phone sends (zero = indistinct, nothing on the wire).
+	// It survives MAC rotation, which is exactly what fingerprint-based
+	// re-linking exploits.
+	Fingerprint uint32
 	// ScanChannels is the channel sequence visited per scan; nil selects
 	// ieee80211.DefaultScanChannels (1, 6, 11). Each channel gets its own
 	// probe and listening window, as real scanning firmware does.
@@ -123,6 +139,14 @@ type Client struct {
 	pos   geo.Point
 	seq   uint16
 	arena ieee80211.FrameArena
+
+	// mac is the current over-the-air source MAC; it starts as the
+	// identity MAC (cfg.MAC) and moves along the derived rotation sequence
+	// under a randomization policy.
+	mac          ieee80211.MAC
+	rotations    uint32
+	nextRotateAt time.Duration
+	usedMACs     []ieee80211.MAC
 
 	// curChannel is the tuned channel (0 = agnostic, e.g. while
 	// associated to a channel-agnostic test responder).
@@ -189,17 +213,36 @@ func New(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, cfg Config) (*C
 	if cfg.MAC == (ieee80211.MAC{}) {
 		return nil, fmt.Errorf("client: zero MAC")
 	}
+	if cfg.Randomization == RandomizeNone && cfg.RandomizeMAC {
+		cfg.Randomization = RandomizePerScan
+	}
+	if cfg.Randomization == RandomizeTimed && cfg.RandomizeEvery <= 0 {
+		cfg.RandomizeEvery = DefaultRandomizeEvery
+	}
 	return &Client{
 		cfg:    cfg,
 		engine: engine,
 		medium: medium,
 		rng:    rng,
 		state:  StateIdle,
+		mac:    cfg.MAC,
 	}, nil
 }
 
-// Addr implements sim.Station.
-func (c *Client) Addr() ieee80211.MAC { return c.cfg.MAC }
+// Addr implements sim.Station with the current over-the-air MAC.
+func (c *Client) Addr() ieee80211.MAC { return c.mac }
+
+// TrueAddr returns the phone's stable identity MAC, which never changes
+// across rotations. Ground-truth accounting keys on it.
+func (c *Client) TrueAddr() ieee80211.MAC { return c.cfg.MAC }
+
+// UsedMACs returns every MAC the phone has appeared under, in first-use
+// order: the identity MAC (if it ever went on the air) followed by each
+// rotation. The scenario runner builds the linker ground truth from it.
+func (c *Client) UsedMACs() []ieee80211.MAC { return c.usedMACs }
+
+// Rotations returns how many MAC rotations the phone has performed.
+func (c *Client) Rotations() uint32 { return c.rotations }
 
 // Pos implements sim.Station.
 func (c *Client) Pos() geo.Point { return c.pos }
@@ -249,6 +292,7 @@ func (c *Client) Start() error {
 		c.trace = c.cfg.Obs.Trace
 		c.tid = c.trace.Track("client " + c.cfg.MAC.String())
 	}
+	c.usedMACs = append(c.usedMACs, c.mac)
 	if c.cfg.PreconnectedBSSID != (ieee80211.MAC{}) {
 		c.state = StateConnected
 		c.peer = c.cfg.PreconnectedBSSID
@@ -291,8 +335,17 @@ func (c *Client) scheduleScan(after time.Duration) {
 // evaluated once the last channel's window closes, the way real scanning
 // firmware assembles scan results before network selection.
 func (c *Client) scan() {
-	if c.cfg.RandomizeMAC {
+	switch c.cfg.Randomization {
+	case RandomizePerScan:
 		c.rotateMAC()
+	case RandomizeTimed:
+		if now := c.engine.Now(); now >= c.nextRotateAt {
+			c.rotateMAC()
+			c.nextRotateAt = now + c.cfg.RandomizeEvery
+		}
+	}
+	if c.state == StateDeparted {
+		return // rotation collided twice; the phone fell off the air
 	}
 	c.scanEpoch++
 	c.responses = c.responses[:0]
@@ -312,6 +365,12 @@ func (c *Client) scan() {
 
 // scanChannel probes and listens on the current channel of the sequence.
 func (c *Client) scanChannel() {
+	if c.cfg.Randomization == RandomizePerBurst {
+		c.rotateMAC()
+		if c.state == StateDeparted {
+			return
+		}
+	}
 	epoch := c.scanEpoch
 	c.curChannel = c.channels()[c.scanChanIdx]
 	c.windowOpen = true
@@ -380,17 +439,19 @@ func (c *Client) scheduleNextScanTick() {
 	c.scheduleScan(time.Duration(float64(c.cfg.ScanInterval) * jitter))
 }
 
-// rotateMAC re-keys the client under a fresh random MAC, the
-// privacy behaviour of modern unassociated phones. On the (astronomically
-// unlikely) collision with an existing station, the old MAC is kept for
-// this scan.
+// rotateMAC re-keys the client under the next MAC of its derived rotation
+// sequence, the privacy behaviour of modern unassociated phones. The
+// derivation consumes no RNG, so enabling a policy perturbs nothing else in
+// a seeded run. On the (astronomically unlikely) collision with an existing
+// station, the old MAC is kept for this burst.
 func (c *Client) rotateMAC() {
-	fresh := ieee80211.RandomMAC(c.rng)
-	old := c.cfg.MAC
+	fresh := ieee80211.DerivedRandomMAC(c.cfg.MAC, c.rotations)
+	c.rotations++
+	old := c.mac
 	c.medium.Detach(old)
-	c.cfg.MAC = fresh
+	c.mac = fresh
 	if err := c.medium.Attach(c); err != nil {
-		c.cfg.MAC = old
+		c.mac = old
 		// Re-attach under the old identity; this cannot collide because
 		// we just vacated it.
 		if err := c.medium.Attach(c); err != nil {
@@ -398,14 +459,21 @@ func (c *Client) rotateMAC() {
 			// effectively off the air. Leave it detached.
 			c.state = StateDeparted
 		}
+		return
 	}
+	c.usedMACs = append(c.usedMACs, fresh)
 }
 
-// frame stamps addressing and sequence numbers on a template.
+// frame stamps addressing, sequence numbers and the probe fingerprint on a
+// template. The sequence counter advances per frame regardless of MAC
+// rotations — the continuity the sequence-number linker exploits.
 func (c *Client) frame(f ieee80211.Frame) *ieee80211.Frame {
-	f.SA = c.cfg.MAC
+	f.SA = c.mac
 	c.seq = (c.seq + 1) & 0x0fff
 	f.Seq = c.seq
+	if f.Subtype == ieee80211.SubtypeProbeRequest {
+		f.Fingerprint = c.cfg.Fingerprint
+	}
 	return c.arena.New(f)
 }
 
@@ -429,7 +497,7 @@ func (c *Client) Receive(f *ieee80211.Frame) {
 }
 
 func (c *Client) onProbeResponse(f *ieee80211.Frame) {
-	if f.DA != c.cfg.MAC && !f.DA.IsBroadcast() {
+	if f.DA != c.mac && !f.DA.IsBroadcast() {
 		return
 	}
 	if c.canarySSID != "" && f.SSID == c.canarySSID && !c.hostile[f.SA] {
@@ -572,7 +640,7 @@ func (c *Client) onDeauth(f *ieee80211.Frame) {
 	if f.SA != c.peer && f.BSSID != c.peer {
 		return
 	}
-	if f.DA != c.cfg.MAC && !f.DA.IsBroadcast() {
+	if f.DA != c.mac && !f.DA.IsBroadcast() {
 		return
 	}
 	c.Stats.Deauths++

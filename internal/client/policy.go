@@ -1,0 +1,48 @@
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+// RandomizationPolicy selects when a phone rotates its over-the-air source
+// MAC while unassociated. Whatever the policy, the phone's stable identity
+// (Config.MAC), its 12-bit frame sequence counter and its IE fingerprint
+// are untouched by rotation — they are exactly the side channels the
+// de-anonymisation linkers exploit.
+type RandomizationPolicy int
+
+// Randomization policies, from least to most aggressive.
+const (
+	// RandomizeNone keeps the configured MAC for the phone's lifetime.
+	RandomizeNone RandomizationPolicy = iota
+	// RandomizePerScan rotates once at the start of every scan cycle, the
+	// behaviour of most modern handsets.
+	RandomizePerScan
+	// RandomizePerBurst rotates before every per-channel probe burst, so a
+	// single scan appears as several distinct MACs.
+	RandomizePerBurst
+	// RandomizeTimed rotates at most once per Config.RandomizeEvery,
+	// keeping one MAC across several scans (pre-2020 handset behaviour).
+	RandomizeTimed
+)
+
+// DefaultRandomizeEvery is the rotation period used by RandomizeTimed when
+// Config.RandomizeEvery is zero.
+const DefaultRandomizeEvery = 15 * time.Minute
+
+// String implements fmt.Stringer.
+func (p RandomizationPolicy) String() string {
+	switch p {
+	case RandomizeNone:
+		return "none"
+	case RandomizePerScan:
+		return "per-scan"
+	case RandomizePerBurst:
+		return "per-burst"
+	case RandomizeTimed:
+		return "timed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}

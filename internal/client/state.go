@@ -31,6 +31,17 @@ type Snapshot struct {
 	// Hostile carries the canary detector's unmasked evil twins; the phone
 	// keeps ignoring them at the next site.
 	Hostile map[ieee80211.MAC]bool
+	// CurrentMAC is the over-the-air MAC at suspension time (zero in
+	// snapshots predating MAC randomization, read back as Config.MAC).
+	CurrentMAC ieee80211.MAC
+	// Rotations is the rotation counter: the resumed phone's next rotation
+	// continues the derived sequence exactly where it stopped.
+	Rotations uint32
+	// NextRotateAt is the RandomizeTimed deadline, in simulation time.
+	NextRotateAt time.Duration
+	// UsedMACs is every MAC the phone has appeared under, for ground-truth
+	// accounting across demote/promote round trips.
+	UsedMACs []ieee80211.MAC
 }
 
 // Suspend detaches the phone from the medium and returns the snapshot a
@@ -46,10 +57,14 @@ func (c *Client) Suspend() (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("client %v: Suspend after Depart", c.Addr())
 	}
 	snap := Snapshot{
-		Config:  c.cfg,
-		Stats:   c.Stats,
-		Seq:     c.seq,
-		Hostile: c.hostile,
+		Config:       c.cfg,
+		Stats:        c.Stats,
+		Seq:          c.seq,
+		Hostile:      c.hostile,
+		CurrentMAC:   c.mac,
+		Rotations:    c.rotations,
+		NextRotateAt: c.nextRotateAt,
+		UsedMACs:     append([]ieee80211.MAC(nil), c.usedMACs...),
 	}
 	c.state = StateDeparted
 	c.scanEpoch++
@@ -76,6 +91,15 @@ func Resume(engine *sim.Engine, medium *sim.Medium, rng *rand.Rand, snap Snapsho
 	c.Stats = snap.Stats
 	c.seq = snap.Seq
 	c.hostile = snap.Hostile
+	if snap.CurrentMAC != (ieee80211.MAC{}) {
+		c.mac = snap.CurrentMAC
+	}
+	c.rotations = snap.Rotations
+	c.nextRotateAt = snap.NextRotateAt
+	c.usedMACs = append([]ieee80211.MAC(nil), snap.UsedMACs...)
+	if len(c.usedMACs) == 0 {
+		c.usedMACs = append(c.usedMACs, c.mac)
+	}
 	if err := c.medium.Attach(c); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}

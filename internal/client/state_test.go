@@ -55,6 +55,88 @@ func TestSuspendResumeRoundTripLossless(t *testing.T) {
 	}
 }
 
+// TestSuspendResumeCarriesRotationState is the randomization round trip: a
+// per-scan rotating phone suspends mid-sequence and resumes with the same
+// over-the-air MAC, the same rotation counter, and the full used-MAC
+// history — then continues the derived sequence exactly where it stopped
+// instead of restarting (a restart would replay MACs and corrupt the
+// linker's ground truth).
+func TestSuspendResumeCarriesRotationState(t *testing.T) {
+	fx := newFixture(t)
+	c := fx.newClient(t, Config{
+		PNL:           pnl.List{{SSID: "Home"}},
+		Randomization: RandomizePerScan,
+	})
+	fx.engine.Run(30 * time.Second)
+
+	snap, err := c.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if snap.Rotations == 0 {
+		t.Fatal("per-scan phone never rotated in 30s of 5s scans")
+	}
+	if snap.CurrentMAC == snap.Config.MAC {
+		t.Error("snapshot's over-the-air MAC is still the identity")
+	}
+	if snap.CurrentMAC[0] != ieee80211.RandomizedMACPrefix {
+		t.Errorf("rotated MAC %v outside the randomized block", snap.CurrentMAC)
+	}
+	if len(snap.UsedMACs) != int(snap.Rotations)+1 {
+		t.Errorf("UsedMACs has %d entries for %d rotations (want identity + one per rotation)",
+			len(snap.UsedMACs), snap.Rotations)
+	}
+	if snap.UsedMACs[0] != snap.Config.MAC {
+		t.Errorf("UsedMACs[0] = %v, want the identity %v", snap.UsedMACs[0], snap.Config.MAC)
+	}
+
+	// Immediate round trip: durable rotation state is bit-for-bit stable.
+	c2, err := Resume(fx.engine, fx.medium, fx.rng, snap)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if c2.Addr() != snap.CurrentMAC {
+		t.Errorf("resumed on %v, want the suspended MAC %v", c2.Addr(), snap.CurrentMAC)
+	}
+	if c2.TrueAddr() != snap.Config.MAC {
+		t.Errorf("TrueAddr = %v, want identity %v", c2.TrueAddr(), snap.Config.MAC)
+	}
+	snap2, err := c2.Suspend()
+	if err != nil {
+		t.Fatalf("Suspend after Resume: %v", err)
+	}
+	snap.Config.PreconnectedBSSID = ieee80211.MAC{} // cleared by design on resume
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Errorf("round trip lost rotation state:\n first %+v\nsecond %+v", snap, snap2)
+	}
+
+	// A resumed phone continues the derived sequence: its next rotation is
+	// rotation number snap.Rotations, not a replay of an earlier MAC.
+	c3, err := Resume(fx.engine, fx.medium, fx.rng, snap2)
+	if err != nil {
+		t.Fatalf("second Resume: %v", err)
+	}
+	fx.engine.Run(60 * time.Second)
+	want := ieee80211.DerivedRandomMAC(snap.Config.MAC, snap.Rotations)
+	found := false
+	for _, m := range c3.UsedMACs() {
+		if m == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("resumed phone never rotated to %v (rotation %d); used %v",
+			want, snap.Rotations, c3.UsedMACs())
+	}
+	seen := make(map[ieee80211.MAC]bool)
+	for _, m := range c3.UsedMACs() {
+		if seen[m] {
+			t.Errorf("MAC %v replayed after resume", m)
+		}
+		seen[m] = true
+	}
+}
+
 func TestResumedClientContinuesAtNewSite(t *testing.T) {
 	fx := newFixture(t)
 	fx.resp.replySSIDs = []string{"Cafe Free WiFi"}

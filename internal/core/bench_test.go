@@ -18,7 +18,7 @@ func benchEngine(b *testing.B, entries int) *Engine {
 	}
 	src := ieee80211.MAC{0x02, 9, 9, 9, 9, 9}
 	for i := 0; i < entries; i++ {
-		e.HarvestDirect(0, src, fmt.Sprintf("Net-%05d", i))
+		e.HarvestDirect(0, lnk(src), fmt.Sprintf("Net-%05d", i))
 	}
 	return e
 }
@@ -29,7 +29,7 @@ func BenchmarkBroadcastReplyFreshClient(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mac := ieee80211.MAC{0x02, 0, 0, byte(i >> 16), byte(i >> 8), byte(i)}
-		if got := e.BroadcastReply(0, mac, 40); len(got) != 40 {
+		if got := e.BroadcastReply(0, lnk(mac), 40); len(got) != 40 {
 			b.Fatalf("batch = %d", len(got))
 		}
 	}
@@ -46,7 +46,7 @@ func BenchmarkBroadcastReplyInstrumented(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mac := ieee80211.MAC{0x02, 0, 0, byte(i >> 16), byte(i >> 8), byte(i)}
-		if got := e.BroadcastReply(0, mac, 40); len(got) != 40 {
+		if got := e.BroadcastReply(0, lnk(mac), 40); len(got) != 40 {
 			b.Fatalf("batch = %d", len(got))
 		}
 	}
@@ -58,7 +58,7 @@ func BenchmarkBroadcastReplyRotatingClient(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.BroadcastReply(time.Duration(i), mac, 40)
+		e.BroadcastReply(time.Duration(i), lnk(mac), 40)
 		if e.SentCount(mac) >= 2000 {
 			// Exhausted: start a new client to keep the work uniform.
 			b.StopTimer()
@@ -74,17 +74,17 @@ func BenchmarkHarvestDirect(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.HarvestDirect(time.Duration(i), src, fmt.Sprintf("H-%07d", i))
+		e.HarvestDirect(time.Duration(i), lnk(src), fmt.Sprintf("H-%07d", i))
 	}
 }
 
 func BenchmarkRecordHit(b *testing.B) {
 	e := benchEngine(b, 512)
 	victim := ieee80211.MAC{0x02, 1, 1, 1, 1, 1}
-	e.BroadcastReply(0, victim, 40)
+	e.BroadcastReply(0, lnk(victim), 40)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.RecordHit(time.Duration(i), victim, fmt.Sprintf("Net-%05d", i%512))
+		e.RecordHit(time.Duration(i), lnk(victim), fmt.Sprintf("Net-%05d", i%512))
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"cityhunter/internal/geo"
 	"cityhunter/internal/heatmap"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/wigle"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 
 	// Seed drives the ghost sampling.
 	Seed int64
+
+	// Linker maps observed MACs to device tracks, the seam for the MAC
+	// de-anonymisation counterattack. Nil selects the identity
+	// linker.MACLinker (one MAC = one device), which reproduces the
+	// historical behaviour byte-identically.
+	Linker linker.Linker
 }
 
 // DefaultConfig returns the paper's parameters for the given mode.
@@ -173,11 +180,16 @@ func NewEngine(cfg Config, seed *SeedData) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	lk := cfg.Linker
+	if lk == nil {
+		lk = linker.NewMACLinker()
+	}
 	e := &Engine{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		db:      newDatabase(),
-		clients: make(map[clientKey]*clientTrack),
+		linker:  lk,
+		clients: make(map[linker.TrackID]*clientTrack),
 		fbSize:  cfg.InitialFreshness,
 	}
 	if cfg.Mode == ModePreliminary {

@@ -9,10 +9,25 @@ import (
 	"cityhunter/internal/geo"
 	"cityhunter/internal/heatmap"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/wigle"
 )
 
 func mac(b byte) ieee80211.MAC { return ieee80211.MAC{0x02, 0, 0, 0, 0, b} }
+
+// lnk wraps a bare MAC into the minimal linker.Observation the strategy
+// interface consumes.
+func lnk(m ieee80211.MAC) linker.Observation { return linker.Observation{MAC: m} }
+
+// clientFor resolves a MAC through the engine's linker to its per-track
+// state, or nil when the MAC has never been observed.
+func (e *Engine) clientFor(m ieee80211.MAC) *clientTrack {
+	id, ok := e.linker.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return e.clients[id]
+}
 
 // seedData builds a small city: one very hot venue SSID, a few chains, and
 // cafés near the attack position at (0,0).
@@ -154,7 +169,7 @@ func TestNilSeedStartsEmpty(t *testing.T) {
 	if e.DBSize() != 0 {
 		t.Errorf("DBSize = %d", e.DBSize())
 	}
-	if got := e.BroadcastReply(0, mac(1), 40); len(got) != 0 {
+	if got := e.BroadcastReply(0, lnk(mac(1)), 40); len(got) != 0 {
 		t.Errorf("reply from empty DB = %v", got)
 	}
 }
@@ -164,7 +179,7 @@ func TestHarvestDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.HarvestDirect(0, mac(1), "NewNet")
+	e.HarvestDirect(0, lnk(mac(1)), "NewNet")
 	if e.DBSize() != 1 {
 		t.Fatalf("DBSize = %d", e.DBSize())
 	}
@@ -173,11 +188,11 @@ func TestHarvestDirect(t *testing.T) {
 		t.Errorf("entry = %+v", en)
 	}
 	// Re-sighting bumps weight.
-	e.HarvestDirect(0, mac(2), "NewNet")
+	e.HarvestDirect(0, lnk(mac(2)), "NewNet")
 	if w := e.TopEntries(1)[0].Weight; w != 2 {
 		t.Errorf("weight after sighting = %v, want 2", w)
 	}
-	e.HarvestDirect(0, mac(1), "")
+	e.HarvestDirect(0, lnk(mac(1)), "")
 	if e.DBSize() != 1 {
 		t.Error("empty SSID harvested")
 	}
@@ -195,7 +210,7 @@ func TestPreliminaryRotation(t *testing.T) {
 	seen := make(map[string]bool)
 	total := 0
 	for i := 0; i < 10; i++ {
-		batch := e.BroadcastReply(0, victim, 40)
+		batch := e.BroadcastReply(0, lnk(victim), 40)
 		for _, s := range batch {
 			if seen[s] {
 				t.Fatalf("SSID %q resent to the same client (round %d)", s, i)
@@ -226,8 +241,8 @@ func TestPreliminaryBatchesAreUnordered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.BroadcastReply(0, mac(1), 40) // per-client state must not leak
-	batch := e.BroadcastReply(0, mac(2), 40)
+	e.BroadcastReply(0, lnk(mac(1)), 40) // per-client state must not leak
+	batch := e.BroadcastReply(0, lnk(mac(2)), 40)
 	if len(batch) < 2 {
 		t.Fatalf("batch = %v", batch)
 	}
@@ -239,7 +254,7 @@ func TestPreliminaryBatchesAreUnordered(t *testing.T) {
 	}
 	// The full design, by contrast, leads with the top-weight entry.
 	fe := newFull(t, nil)
-	fb := fe.BroadcastReply(0, mac(2), 40)
+	fb := fe.BroadcastReply(0, lnk(mac(2)), 40)
 	if fb[0] != "HotVenue WiFi" {
 		t.Errorf("full mode first SSID = %q, want top-weight entry", fb[0])
 	}
@@ -247,8 +262,8 @@ func TestPreliminaryBatchesAreUnordered(t *testing.T) {
 
 func TestRotationDisabledResendsHead(t *testing.T) {
 	e := newFull(t, func(c *Config) { c.RotateUntried = false })
-	a := e.BroadcastReply(0, mac(1), 40)
-	b := e.BroadcastReply(0, mac(1), 40)
+	a := e.BroadcastReply(0, lnk(mac(1)), 40)
+	b := e.BroadcastReply(0, lnk(mac(1)), 40)
 	if len(a) == 0 || len(a) != len(b) {
 		t.Fatalf("batch lengths %d/%d", len(a), len(b))
 	}
@@ -271,10 +286,10 @@ func TestRotationDisabledResendsHead(t *testing.T) {
 
 func TestBatchRespectsLimit(t *testing.T) {
 	e := newFull(t, nil)
-	if got := e.BroadcastReply(0, mac(1), 10); len(got) > 10 {
+	if got := e.BroadcastReply(0, lnk(mac(1)), 10); len(got) > 10 {
 		t.Errorf("batch = %d > limit 10", len(got))
 	}
-	if got := e.BroadcastReply(0, mac(2), 0); got != nil {
+	if got := e.BroadcastReply(0, lnk(mac(2)), 0); got != nil {
 		t.Errorf("batch with zero limit = %v", got)
 	}
 }
@@ -283,10 +298,10 @@ func TestBatchNoDuplicates(t *testing.T) {
 	e := newFull(t, nil)
 	// Create freshness entries that also rank high by weight, to tempt
 	// double selection.
-	e.RecordHit(time.Second, mac(9), "HotVenue WiFi")
-	e.RecordHit(2*time.Second, mac(9), "ChainMart Free")
+	e.RecordHit(time.Second, lnk(mac(9)), "HotVenue WiFi")
+	e.RecordHit(2*time.Second, lnk(mac(9)), "ChainMart Free")
 	for i := byte(1); i < 20; i++ {
-		batch := e.BroadcastReply(0, mac(i), 40)
+		batch := e.BroadcastReply(0, lnk(mac(i)), 40)
 		seen := make(map[string]bool, len(batch))
 		for _, s := range batch {
 			if seen[s] {
@@ -303,10 +318,10 @@ func TestFullModeUsesFreshness(t *testing.T) {
 		c.HitWeightDelta = 0 // keep the hit SSID's weight low
 	})
 	// Give a low-weight harvested SSID a very recent hit.
-	e.HarvestDirect(0, mac(50), "ObscureShared")
-	e.RecordHit(time.Minute, mac(50), "ObscureShared")
+	e.HarvestDirect(0, lnk(mac(50)), "ObscureShared")
+	e.RecordHit(time.Minute, lnk(mac(50)), "ObscureShared")
 
-	batch := e.BroadcastReply(time.Minute+time.Second, mac(1), 40)
+	batch := e.BroadcastReply(time.Minute+time.Second, lnk(mac(1)), 40)
 	found := false
 	for _, s := range batch {
 		if s == "ObscureShared" {
@@ -327,9 +342,9 @@ func TestPreliminaryIgnoresFreshness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.HarvestDirect(0, mac(50), "ObscureShared")
-	e.RecordHit(time.Minute, mac(50), "ObscureShared")
-	batch := e.BroadcastReply(time.Minute+time.Second, mac(1), 40)
+	e.HarvestDirect(0, lnk(mac(50)), "ObscureShared")
+	e.RecordHit(time.Minute, lnk(mac(50)), "ObscureShared")
+	batch := e.BroadcastReply(time.Minute+time.Second, lnk(mac(1)), 40)
 	smallDB := e.DBSize() <= 40
 	for _, s := range batch {
 		if s == "ObscureShared" && !smallDB {
@@ -344,7 +359,7 @@ func TestAdaptationGrowsPopularityOnPBGhostHit(t *testing.T) {
 	// Forge a PB-ghost attribution: send a batch, then find a client
 	// whose record contains a popularity-ghost SSID and hit it.
 	ssid := e.ghostHitSetup(t, KindPopularityGhost, mac(1))
-	e.RecordHit(time.Second, mac(1), ssid)
+	e.RecordHit(time.Second, lnk(mac(1)), ssid)
 	_, fb1 := e.BufferSizes()
 	if fb1 != fb0-1 {
 		t.Errorf("FB size %d -> %d, want shrink by 1 on PB-ghost hit", fb0, fb1)
@@ -368,8 +383,8 @@ func (e *Engine) ghostHitSetup(t *testing.T, kind BufferKind, victim ieee80211.M
 		}
 	}
 	for round := 0; round < 50; round++ {
-		e.BroadcastReply(time.Duration(round)*time.Second, victim, e.cfg.ReplyBudget)
-		tr := e.clients[victim]
+		e.BroadcastReply(time.Duration(round)*time.Second, lnk(victim), e.cfg.ReplyBudget)
+		tr := e.clientFor(victim)
 		for ssid, k := range tr.sent {
 			if k == kind {
 				return ssid
@@ -384,7 +399,7 @@ func TestAdaptationGrowsFreshnessOnFBGhostHit(t *testing.T) {
 	e := newFull(t, nil)
 	ssid := e.ghostHitSetup(t, KindFreshnessGhost, mac(1))
 	_, fb0 := e.BufferSizes()
-	e.RecordHit(time.Hour, mac(1), ssid)
+	e.RecordHit(time.Hour, lnk(mac(1)), ssid)
 	_, fb1 := e.BufferSizes()
 	if fb1 != fb0+1 {
 		t.Errorf("FB size %d -> %d, want grow by 1 on FB-ghost hit", fb0, fb1)
@@ -396,7 +411,7 @@ func TestAdaptationClampedAtMin(t *testing.T) {
 	// Repeated PB-ghost hits cannot push FB below MinBuffer.
 	for i := 0; i < 10; i++ {
 		ssid := e.ghostHitSetup(t, KindPopularityGhost, mac(byte(10+i)))
-		e.RecordHit(time.Duration(i)*time.Second, mac(byte(10+i)), ssid)
+		e.RecordHit(time.Duration(i)*time.Second, lnk(mac(byte(10+i))), ssid)
 	}
 	_, fb := e.BufferSizes()
 	if fb < e.cfg.MinBuffer {
@@ -407,11 +422,11 @@ func TestAdaptationClampedAtMin(t *testing.T) {
 func TestRecordHitAttribution(t *testing.T) {
 	e := newFull(t, nil)
 	victim := mac(1)
-	batch := e.BroadcastReply(0, victim, 40)
+	batch := e.BroadcastReply(0, lnk(victim), 40)
 	if len(batch) == 0 {
 		t.Fatal("empty batch")
 	}
-	e.RecordHit(time.Second, victim, batch[0])
+	e.RecordHit(time.Second, lnk(victim), batch[0])
 	hits := e.Hits()
 	if len(hits) != 1 {
 		t.Fatalf("hits = %d", len(hits))
@@ -431,8 +446,8 @@ func TestRecordHitAttribution(t *testing.T) {
 func TestRecordHitMirrorAttribution(t *testing.T) {
 	e := newFull(t, nil)
 	victim := mac(2)
-	e.HarvestDirect(0, victim, "TheirOpenNet")
-	e.RecordHit(time.Second, victim, "TheirOpenNet")
+	e.HarvestDirect(0, lnk(victim), "TheirOpenNet")
+	e.RecordHit(time.Second, lnk(victim), "TheirOpenNet")
 	h := e.Hits()[0]
 	if h.Kind != KindMirror {
 		t.Errorf("kind = %v, want mirror", h.Kind)
@@ -444,7 +459,7 @@ func TestRecordHitMirrorAttribution(t *testing.T) {
 
 func TestHarvestedSSIDAlreadyInWiGLEKeepsSource(t *testing.T) {
 	e := newFull(t, nil)
-	e.HarvestDirect(0, mac(1), "ChainMart Free") // already seeded
+	e.HarvestDirect(0, lnk(mac(1)), "ChainMart Free") // already seeded
 	for _, en := range e.TopEntries(e.DBSize()) {
 		if en.SSID == "ChainMart Free" && en.Source == SourceDirectProbe {
 			t.Error("WiGLE-seeded entry re-attributed to direct probe")
@@ -455,7 +470,7 @@ func TestHarvestedSSIDAlreadyInWiGLEKeepsSource(t *testing.T) {
 func TestSamples(t *testing.T) {
 	e := newFull(t, nil)
 	e.SampleState(0)
-	e.HarvestDirect(0, mac(1), "New1")
+	e.HarvestDirect(0, lnk(mac(1)), "New1")
 	e.SampleState(time.Minute)
 	s := e.Samples()
 	if len(s) != 2 {
@@ -513,7 +528,7 @@ func TestFullRotationEventuallyExhausts(t *testing.T) {
 	victim := mac(7)
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {
-		batch := e.BroadcastReply(time.Duration(i)*time.Second, victim, 40)
+		batch := e.BroadcastReply(time.Duration(i)*time.Second, lnk(victim), 40)
 		if len(batch) == 0 {
 			break
 		}
@@ -535,11 +550,11 @@ func TestProportionalAdaptationSteps(t *testing.T) {
 	// then one popularity-ghost hit must step by more than 1.
 	for i := 0; i < 6; i++ {
 		ssid := e.ghostHitSetup(t, KindFreshnessGhost, mac(byte(40+i)))
-		e.RecordHit(time.Duration(i+1)*time.Hour, mac(byte(40+i)), ssid)
+		e.RecordHit(time.Duration(i+1)*time.Hour, lnk(mac(byte(40+i))), ssid)
 	}
 	_, fbBefore := e.BufferSizes()
 	ssid := e.ghostHitSetup(t, KindPopularityGhost, mac(99))
-	e.RecordHit(100*time.Hour, mac(99), ssid)
+	e.RecordHit(100*time.Hour, lnk(mac(99)), ssid)
 	_, fbAfter := e.BufferSizes()
 	if step := fbBefore - fbAfter; step < 2 {
 		t.Errorf("proportional step = %d, want ≥2 after 6 opposing ghost hits", step)
@@ -605,7 +620,7 @@ func TestAbsorbHitSharesKnowledgeWithoutAttribution(t *testing.T) {
 	if len(e.Hits()) != 0 {
 		t.Errorf("absorb appended to the local hit log: %v", e.Hits())
 	}
-	got := e.BroadcastReply(2*time.Minute, mac(7), 40)
+	got := e.BroadcastReply(2*time.Minute, lnk(mac(7)), 40)
 	if len(got) != 1 || got[0] != "CanteenNet" {
 		t.Errorf("reply after absorb = %v, want the freshly absorbed SSID", got)
 	}

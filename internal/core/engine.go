@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/obs"
 )
 
@@ -58,8 +59,12 @@ func (k BufferKind) FromFreshness() bool {
 
 // HitRecord is one successful capture with full attribution.
 type HitRecord struct {
-	// MAC is the victim.
+	// MAC is the victim's over-the-air MAC at capture time (under MAC
+	// randomization, one of possibly many the device used).
 	MAC ieee80211.MAC
+	// Track is the attacker-assigned device track the victim was linked
+	// to; the identity linker gives every distinct MAC its own track.
+	Track linker.TrackID
 	// SSID lured it.
 	SSID string
 	// At is the capture time.
@@ -78,10 +83,11 @@ type StateSample struct {
 	FB     int
 }
 
-type clientKey = ieee80211.MAC
-
-// clientTrack is the per-client untried bookkeeping (§III-A): every SSID
-// ever sent to the client, with the bucket it came from.
+// clientTrack is the per-device untried bookkeeping (§III-A): every SSID
+// ever sent to the tracked device, with the bucket it came from. It is
+// keyed by the linker-assigned TrackID, not by raw MAC, so a linker that
+// re-identifies a rotated MAC resumes the device's rotation mid-list
+// instead of restarting from the head.
 type clientTrack struct {
 	sent      map[string]BufferKind
 	sentCount int
@@ -94,7 +100,10 @@ type Engine struct {
 	rng *rand.Rand
 	db  *database
 
-	clients map[clientKey]*clientTrack
+	// linker maps observed MACs to device tracks; the identity MACLinker
+	// (the default) reproduces the historical MAC-keyed behaviour exactly.
+	linker  linker.Linker
+	clients map[linker.TrackID]*clientTrack
 	// fbSize is the adaptive Freshness Buffer size; the Popularity
 	// Buffer gets the rest of the regular budget.
 	fbSize int
@@ -125,6 +134,8 @@ type engineObs struct {
 	pbSize      *obs.Gauge
 	fbSize      *obs.Gauge
 	dbSize      *obs.Gauge
+	tracks      *obs.Gauge
+	relinks     *obs.Gauge
 	journal     *obs.Journal
 }
 
@@ -158,6 +169,8 @@ func (e *Engine) Instrument(rt *obs.Runtime, labels ...string) {
 		o.pbSize = rt.Metrics.Gauge("core_pb_size", labels...)
 		o.fbSize = rt.Metrics.Gauge("core_fb_size", labels...)
 		o.dbSize = rt.Metrics.Gauge("core_db_size", labels...)
+		o.tracks = rt.Metrics.Gauge("core_tracks", labels...)
+		o.relinks = rt.Metrics.Gauge("core_relinks", labels...)
 	}
 	e.om = o
 	e.omSyncGauges()
@@ -172,6 +185,8 @@ func (e *Engine) omSyncGauges() {
 	e.om.pbSize.Set(float64(pb))
 	e.om.fbSize.Set(float64(fb))
 	e.om.dbSize.Set(float64(e.db.len()))
+	e.om.tracks.Set(float64(e.linker.Tracks()))
+	e.om.relinks.Set(float64(e.linker.Links()))
 }
 
 // Name implements attack.Strategy.
@@ -205,13 +220,53 @@ func (e *Engine) Hits() []HitRecord {
 	return out
 }
 
-// SentCount returns how many distinct SSIDs have been sent to mac.
+// SentCount returns how many distinct SSIDs have been sent to the device
+// the linker associates with mac.
 func (e *Engine) SentCount(mac ieee80211.MAC) int {
-	if t, ok := e.clients[mac]; ok {
+	id, ok := e.linker.Lookup(mac)
+	if !ok {
+		return 0
+	}
+	if t, ok := e.clients[id]; ok {
 		return t.sentCount
 	}
 	return 0
 }
+
+// SentCountAcross sums the sent counts over every distinct track the
+// linker resolved the given MACs to, counting each track once. It is the
+// per-device form of SentCount for phones that rotated through several
+// MACs: an un-linked rotation splits the device across tracks whose
+// counts add up, while a successful re-link collapses them to one track
+// counted once. For a single stable MAC it equals SentCount.
+func (e *Engine) SentCountAcross(macs []ieee80211.MAC) int {
+	total := 0
+	var seen []linker.TrackID
+	for _, mac := range macs {
+		id, ok := e.linker.Lookup(mac)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, s := range seen {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, id)
+		if t, ok := e.clients[id]; ok {
+			total += t.sentCount
+		}
+	}
+	return total
+}
+
+// Linker returns the engine's MAC-to-track linker.
+func (e *Engine) Linker() linker.Linker { return e.linker }
 
 // SampleState records a snapshot at the given time for time-series output.
 func (e *Engine) SampleState(now time.Duration) {
@@ -248,13 +303,16 @@ func (e *Engine) TopEntries(n int) []EntryInfo {
 	return out
 }
 
-func (e *Engine) track(mac ieee80211.MAC) *clientTrack {
-	t, ok := e.clients[mac]
+// trackOf resolves an observation to its device track via the linker,
+// creating the per-track bookkeeping on first sight.
+func (e *Engine) trackOf(o linker.Observation) (linker.TrackID, *clientTrack) {
+	id := e.linker.Observe(o)
+	t, ok := e.clients[id]
 	if !ok {
 		t = &clientTrack{sent: make(map[string]BufferKind)}
-		e.clients[mac] = t
+		e.clients[id] = t
 	}
-	return t
+	return id, t
 }
 
 // Knows implements attack.Knower: whether ssid is already in the database.
@@ -268,7 +326,7 @@ func (e *Engine) Knows(ssid string) bool {
 // re-sightings bump the weight. The probed SSID is also marked as tried for
 // the prober — the base station mirrors it, so a batch slot would be
 // wasted on it.
-func (e *Engine) HarvestDirect(_ time.Duration, sa ieee80211.MAC, ssid string) {
+func (e *Engine) HarvestDirect(_ time.Duration, o linker.Observation, ssid string) {
 	if ssid == "" {
 		return
 	}
@@ -280,7 +338,11 @@ func (e *Engine) HarvestDirect(_ time.Duration, sa ieee80211.MAC, ssid string) {
 	} else {
 		e.db.bump(ssid, e.cfg.SightingWeightDelta)
 	}
-	t := e.track(sa)
+	// A harvest is by definition a directed probe; normalise the
+	// observation so linkers see the disclosed SSID even when a caller
+	// hands in a bare MAC.
+	o.Directed, o.SSID = true, ssid
+	_, t := e.trackOf(o)
 	if _, dup := t.sent[ssid]; !dup {
 		t.sent[ssid] = KindMirror
 		t.sentCount++
@@ -292,7 +354,7 @@ func (e *Engine) HarvestDirect(_ time.Duration, sa ieee80211.MAC, ssid string) {
 // Freshness Buffer and GhostPicks random entries from each ghost list,
 // under the per-client untried rotation; any shortfall is backfilled with
 // further popularity-ranked entries.
-func (e *Engine) BroadcastReply(_ time.Duration, sa ieee80211.MAC, limit int) []string {
+func (e *Engine) BroadcastReply(_ time.Duration, o linker.Observation, limit int) []string {
 	budget := e.cfg.ReplyBudget
 	if limit < budget {
 		budget = limit
@@ -300,7 +362,7 @@ func (e *Engine) BroadcastReply(_ time.Duration, sa ieee80211.MAC, limit int) []
 	if budget <= 0 {
 		return nil
 	}
-	t := e.track(sa)
+	_, t := e.trackOf(o)
 
 	tried := func(ssid string) bool {
 		if !e.cfg.RotateUntried {
@@ -350,6 +412,8 @@ func (e *Engine) BroadcastReply(_ time.Duration, sa ieee80211.MAC, limit int) []
 	if e.om != nil {
 		e.om.replies.Inc()
 		e.om.batch.Observe(float64(len(batch)))
+		e.om.tracks.Set(float64(e.linker.Tracks()))
+		e.om.relinks.Set(float64(e.linker.Links()))
 	}
 	out := make([]string, len(batch))
 	copy(out, batch)
@@ -474,11 +538,18 @@ func (e *Engine) AbsorbHit(now time.Duration, ssid string) {
 // buffer-size adaptation (step 2/3 of Fig. 3). A hit served from PB's ghost
 // list means the Popularity Buffer was too small, so it grows at FB's
 // expense, and vice versa — the ARC-inspired balancing of §IV-C.
-func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string) {
+func (e *Engine) RecordHit(now time.Duration, victim linker.Observation, ssid string) {
 	e.db.recordHit(ssid, now, e.cfg.HitWeightDelta)
 
+	// Resolve the victim to its device track. An associating victim has
+	// almost always probed first, so Lookup hits; the Observe fallback
+	// covers synthetic callers that record hits cold.
+	id, linked := e.linker.Lookup(victim.MAC)
+	if !linked {
+		id = e.linker.Observe(victim)
+	}
 	kind := KindMirror
-	if t, ok := e.clients[victim]; ok {
+	if t, ok := e.clients[id]; ok {
 		if k, ok := t.sent[ssid]; ok {
 			kind = k
 		}
@@ -487,12 +558,12 @@ func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
 	if en, ok := e.db.get(ssid); ok {
 		source = en.source
 	}
-	e.hits = append(e.hits, HitRecord{MAC: victim, SSID: ssid, At: now, Source: source, Kind: kind})
+	e.hits = append(e.hits, HitRecord{MAC: victim.MAC, Track: id, SSID: ssid, At: now, Source: source, Kind: kind})
 
 	if e.om != nil {
 		e.om.hits[kind].Inc()
 		if e.om.journal != nil && (kind == KindPopularityGhost || kind == KindFreshnessGhost) {
-			e.om.journal.Record(now, obs.EventGhostHit, victim.String(),
+			e.om.journal.Record(now, obs.EventGhostHit, victim.MAC.String(),
 				fmt.Sprintf("%s served %q", kind, ssid))
 		}
 	}
@@ -529,7 +600,7 @@ func (e *Engine) RecordHit(now time.Duration, victim ieee80211.MAC, ssid string)
 		e.omSyncGauges()
 		if e.om.journal != nil {
 			pb, fb := e.BufferSizes()
-			e.om.journal.Record(now, obs.EventAdaptation, victim.String(),
+			e.om.journal.Record(now, obs.EventAdaptation, victim.MAC.String(),
 				fmt.Sprintf("%s hit moved boundary by %+d: pb=%d fb=%d", kind, adapted, pb, fb))
 		}
 	}

@@ -47,7 +47,7 @@ func TestPropertyRandomOps(t *testing.T) {
 				switch rng.Intn(10) {
 				case 0, 1, 2: // harvest
 					ssid := fmt.Sprintf("harvest-%03d", rng.Intn(300))
-					e.HarvestDirect(now, c, ssid)
+					e.HarvestDirect(now, lnk(c), ssid)
 					inDB[ssid] = true
 					if sent[c] == nil {
 						sent[c] = make(map[string]bool)
@@ -55,10 +55,10 @@ func TestPropertyRandomOps(t *testing.T) {
 					sent[c][ssid] = true // mirrored by the base station
 				case 3: // hit from the client's last batch
 					if batch := lastBatch[c]; len(batch) > 0 {
-						e.RecordHit(now, c, batch[rng.Intn(len(batch))])
+						e.RecordHit(now, lnk(c), batch[rng.Intn(len(batch))])
 					}
 				default: // broadcast reply
-					batch := e.BroadcastReply(now, c, cfg.ReplyBudget)
+					batch := e.BroadcastReply(now, lnk(c), cfg.ReplyBudget)
 					if len(batch) > cfg.ReplyBudget {
 						t.Fatalf("step %d: batch %d > budget", step, len(batch))
 					}
@@ -113,7 +113,7 @@ func TestPropertyRotationCoversEverything(t *testing.T) {
 			victim := mac(1)
 			got := make(map[string]bool)
 			for round := 0; round < 100; round++ {
-				batch := e.BroadcastReply(time.Duration(round)*time.Second, victim, 40)
+				batch := e.BroadcastReply(time.Duration(round)*time.Second, lnk(victim), 40)
 				if len(batch) == 0 {
 					break
 				}
@@ -153,15 +153,15 @@ func TestPropertyDeterministicReplay(t *testing.T) {
 			c := mac(byte(rng.Intn(8) + 1))
 			switch rng.Intn(4) {
 			case 0:
-				e.HarvestDirect(now, c, fmt.Sprintf("h-%d", rng.Intn(100)))
+				e.HarvestDirect(now, lnk(c), fmt.Sprintf("h-%d", rng.Intn(100)))
 			case 1:
-				batch := e.BroadcastReply(now, c, 40)
+				batch := e.BroadcastReply(now, lnk(c), 40)
 				if len(batch) > 0 {
-					e.RecordHit(now, c, batch[0])
+					e.RecordHit(now, lnk(c), batch[0])
 				}
 				out = append(out, batch...)
 			default:
-				out = append(out, e.BroadcastReply(now, c, 40)...)
+				out = append(out, e.BroadcastReply(now, lnk(c), 40)...)
 			}
 		}
 		return out

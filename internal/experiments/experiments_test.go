@@ -286,6 +286,49 @@ func TestCountermeasuresShape(t *testing.T) {
 	}
 }
 
+func TestRandomizationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven runs")
+	}
+	res, err := Randomization(context.Background(), testWorld(t), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.BroadcastHitRate() == 0 {
+		t.Fatal("baseline captured nothing")
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d, want 3 policies x 2 linkers", len(res.Points))
+	}
+	byKey := map[string]RandomizationPoint{}
+	for _, p := range res.Points {
+		byKey[p.Policy+"/"+p.Linker] = p
+		if p.Links == nil {
+			t.Fatalf("%s/%s: no link report", p.Policy, p.Linker)
+		}
+	}
+	blind, relinked := byKey["per-scan/mac"], byKey["per-scan/composite"]
+	// Per-scan rotation inflates the attacker's client count and degrades
+	// the hit rate while the attacker is blind to it.
+	if blind.MACsSeen <= 2*res.BaselineSeen {
+		t.Errorf("per-scan MACs seen = %d, want ≫ baseline %d", blind.MACsSeen, res.BaselineSeen)
+	}
+	if got, base := blind.Tally.BroadcastHitRate(), res.Baseline.BroadcastHitRate(); got >= base {
+		t.Errorf("blind per-scan h_b = %.3f, want < baseline %.3f", got, base)
+	}
+	// The composed linker re-links most rotated MACs and recovers hit rate.
+	if relinked.Links.Recall < 0.5 || relinked.Links.Precision < 0.5 {
+		t.Errorf("composite re-link P=%.2f R=%.2f, want both ≥ 0.5",
+			relinked.Links.Precision, relinked.Links.Recall)
+	}
+	if got, blindRate := relinked.Tally.BroadcastHitRate(), blind.Tally.BroadcastHitRate(); got <= blindRate {
+		t.Errorf("re-linked h_b = %.3f, want > blind %.3f", got, blindRate)
+	}
+	if !strings.Contains(res.String(), "per-scan") {
+		t.Error("String lacks the per-scan line")
+	}
+}
+
 func TestRobustnessShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated runs")

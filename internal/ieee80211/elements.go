@@ -7,7 +7,17 @@ const (
 	elemSSID           = 0
 	elemSupportedRates = 1
 	elemDSParameterSet = 3
+	elemVendorSpecific = 221
 )
+
+// fingerprintOUI tags the vendor-specific element that carries the model's
+// condensed IE fingerprint (a locally-administered OUI, so it cannot clash
+// with a real vendor assignment).
+var fingerprintOUI = [3]byte{0x02, 0x43, 0x48}
+
+// fingerprintElemLen is the payload length of the fingerprint element:
+// 3-byte OUI plus a 4-byte little-endian fingerprint value.
+const fingerprintElemLen = 7
 
 // MaxSSIDLen is the maximum SSID length in octets.
 const MaxSSIDLen = 32

@@ -100,6 +100,14 @@ type Frame struct {
 	// SSID is carried by probe requests (empty for broadcast/wildcard
 	// probes), probe responses, beacons and association requests.
 	SSID string
+	// Fingerprint is an implementation-invariant device fingerprint derived
+	// from the probe's information-element layout (ordering, supported
+	// capabilities, vendor elements). Real chipsets leak such a fingerprint
+	// even under MAC randomization; the model folds it into a single opaque
+	// value. Zero means "no distinguishing fingerprint" and nothing is
+	// emitted on the wire, so legacy captures stay byte-identical. Only
+	// probe requests carry it.
+	Fingerprint uint32
 	// Capability is carried by probe responses, beacons and association
 	// frames.
 	Capability CapabilityInfo

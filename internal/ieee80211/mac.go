@@ -53,6 +53,32 @@ func RandomMAC(rng *rand.Rand) MAC {
 	return m
 }
 
+// RandomizedMACPrefix is the first octet of every MAC returned by
+// DerivedRandomMAC. It has the locally-administered bit set and the
+// multicast bit clear, and — crucially for the simulation — is disjoint
+// from every identity block the population planes allocate from (the
+// classic 0x02:… block, the per-site 0x06:… blocks, the far-field
+// 0x02:0x10 block and the 0x0a:… infrastructure block), so a rotated MAC
+// can never collide with a stable identity.
+const RandomizedMACPrefix = 0x1a
+
+// DerivedRandomMAC returns the n-th randomized MAC for a device whose
+// stable identity is identity. The derivation is a pure hash — no RNG
+// stream is consumed — so rotation schedules perturb nothing else in a
+// seeded run and a suspended client resumes its rotation sequence exactly.
+func DerivedRandomMAC(identity MAC, n uint32) MAC {
+	z := uint64(identity[0])<<40 | uint64(identity[1])<<32 | uint64(identity[2])<<24 |
+		uint64(identity[3])<<16 | uint64(identity[4])<<8 | uint64(identity[5])
+	z ^= uint64(n) * 0x9e3779b97f4a7c15
+	// splitmix64 finalizer: every identity/counter pair diffuses into all
+	// 40 usable bits.
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return MAC{RandomizedMACPrefix, byte(z >> 32), byte(z >> 24), byte(z >> 16), byte(z >> 8), byte(z)}
+}
+
 // IsBroadcast reports whether m is the broadcast address.
 func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
 

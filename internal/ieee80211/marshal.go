@@ -58,6 +58,12 @@ func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
 		b = append(b, hdr[:]...)
 		b = appendElementString(b, elemSSID, f.SSID)
 		b = appendElement(b, elemSupportedRates, defaultRates)
+		if f.Fingerprint != 0 {
+			var fp [fingerprintElemLen]byte
+			copy(fp[:3], fingerprintOUI[:])
+			binary.LittleEndian.PutUint32(fp[3:7], f.Fingerprint)
+			b = appendElement(b, elemVendorSpecific, fp[:])
+		}
 	case SubtypeProbeResponse, SubtypeBeacon:
 		b = append(b, hdr[:]...)
 		var fixed [12]byte // timestamp (8) stays zero in the simulation
@@ -191,6 +197,11 @@ func (f *Frame) parseElements(body []byte, ssidRequired bool) error {
 			if len(payload) == 1 {
 				f.Channel = payload[0]
 			}
+		case elemVendorSpecific:
+			if len(payload) == fingerprintElemLen &&
+				payload[0] == fingerprintOUI[0] && payload[1] == fingerprintOUI[1] && payload[2] == fingerprintOUI[2] {
+				f.Fingerprint = binary.LittleEndian.Uint32(payload[3:7])
+			}
 		}
 	}
 	if ssidRequired && !sawSSID {
@@ -206,6 +217,9 @@ func (f *Frame) WireLen() int {
 	switch f.Subtype {
 	case SubtypeProbeRequest:
 		n += 2 + len(f.SSID) + 2 + len(defaultRates)
+		if f.Fingerprint != 0 {
+			n += 2 + fingerprintElemLen
+		}
 	case SubtypeProbeResponse, SubtypeBeacon:
 		n += 12 + 2 + len(f.SSID) + 2 + len(defaultRates) + 2 + 1
 	case SubtypeAuth:

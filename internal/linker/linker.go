@@ -1,0 +1,137 @@
+// Package linker implements the attacker-side identity plane of the
+// MAC-randomization arms race: deciding when two observed source MACs
+// belong to the same physical device.
+//
+// The hunter core (internal/core) keys its per-client state by an
+// attacker-assigned TrackID rather than by raw MAC; a Linker maps every
+// observation to a track. The identity MACLinker reproduces the classic
+// one-MAC-one-device assumption byte-identically, while Composite scores
+// candidate tracks with the re-linking signals studied in the MAC
+// de-anonymisation literature — sequence-number continuity, IE-fingerprint
+// matching and PNL-order fingerprinting — and merges an unseen MAC into an
+// existing track when the combined score clears a threshold.
+package linker
+
+import (
+	"time"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// TrackID is an attacker-assigned device identity. IDs are dense and
+// assigned in first-observation order starting at 1; zero means "no track".
+type TrackID uint32
+
+// Observation is everything the attacker can read off one probe request:
+// the over-the-air source MAC, the 12-bit sequence counter, the condensed
+// IE fingerprint, and — for directed probes — the SSID being probed.
+type Observation struct {
+	At          time.Duration
+	MAC         ieee80211.MAC
+	Seq         uint16
+	Fingerprint uint32
+	SSID        string
+	Directed    bool
+}
+
+// Linker assigns observations to tracks. Implementations must be
+// deterministic: the same observation sequence always yields the same
+// track assignment (golden runs depend on it).
+type Linker interface {
+	// Name identifies the linker in reports and telemetry.
+	Name() string
+	// Observe maps one observation to a track, creating one if needed.
+	Observe(o Observation) TrackID
+	// Lookup returns the track a MAC was last assigned to, if any. It
+	// never creates a track.
+	Lookup(mac ieee80211.MAC) (TrackID, bool)
+	// Tracks returns the number of tracks created so far.
+	Tracks() int
+	// Links returns the number of cross-MAC merges performed: observations
+	// of a never-seen MAC that were attributed to an existing track.
+	Links() int
+	// Assignments returns a copy of the MAC-to-track table.
+	Assignments() map[ieee80211.MAC]TrackID
+}
+
+// MACLinker is the identity linker: every distinct MAC is its own track.
+// Under it the track-keyed engine behaves exactly like the historical
+// MAC-keyed engine, which the seed-1 goldens verify byte-for-byte.
+type MACLinker struct {
+	byMAC map[ieee80211.MAC]TrackID
+	next  TrackID
+}
+
+// NewMACLinker returns the identity linker.
+func NewMACLinker() *MACLinker {
+	return &MACLinker{byMAC: make(map[ieee80211.MAC]TrackID)}
+}
+
+// Name implements Linker.
+func (l *MACLinker) Name() string { return "mac" }
+
+// Observe implements Linker: first sight of a MAC opens a fresh track.
+func (l *MACLinker) Observe(o Observation) TrackID {
+	if id, ok := l.byMAC[o.MAC]; ok {
+		return id
+	}
+	l.next++
+	l.byMAC[o.MAC] = l.next
+	return l.next
+}
+
+// Lookup implements Linker.
+func (l *MACLinker) Lookup(mac ieee80211.MAC) (TrackID, bool) {
+	id, ok := l.byMAC[mac]
+	return id, ok
+}
+
+// Tracks implements Linker.
+func (l *MACLinker) Tracks() int { return int(l.next) }
+
+// Links implements Linker: the identity linker never merges.
+func (l *MACLinker) Links() int { return 0 }
+
+// Assignments implements Linker.
+func (l *MACLinker) Assignments() map[ieee80211.MAC]TrackID {
+	out := make(map[ieee80211.MAC]TrackID, len(l.byMAC))
+	for m, id := range l.byMAC {
+		out[m] = id
+	}
+	return out
+}
+
+// Track is the per-track state a scoring linker accumulates: the last
+// observation (for sequence continuity), the sticky fingerprint, and the
+// probed-SSID order signature (the PNL fingerprint).
+type Track struct {
+	ID          TrackID
+	LastMAC     ieee80211.MAC
+	LastSeq     uint16
+	LastAt      time.Duration
+	Fingerprint uint32
+	// PNLSig is the distinct directed-probe SSIDs in first-probe order;
+	// the head entry is the first network the device probes each scan.
+	PNLSig []string
+	pnlSet map[string]bool
+}
+
+// observe folds one observation attributed to this track into its state.
+func (t *Track) observe(o Observation) {
+	t.LastMAC = o.MAC
+	t.LastSeq = o.Seq
+	t.LastAt = o.At
+	if o.Fingerprint != 0 {
+		t.Fingerprint = o.Fingerprint
+	}
+	if o.Directed && o.SSID != "" && !t.pnlSet[o.SSID] {
+		if t.pnlSet == nil {
+			t.pnlSet = make(map[string]bool)
+		}
+		t.pnlSet[o.SSID] = true
+		t.PNLSig = append(t.PNLSig, o.SSID)
+	}
+}
+
+// knows reports whether ssid is in the track's PNL signature.
+func (t *Track) knows(ssid string) bool { return t.pnlSet[ssid] }

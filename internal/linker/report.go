@@ -1,0 +1,95 @@
+package linker
+
+import (
+	"fmt"
+
+	"cityhunter/internal/ieee80211"
+)
+
+// Report grades a linker's MAC-to-track clustering against ground truth
+// with the standard pairwise clustering metrics: every pair of observed
+// MACs is either correctly grouped (same device, same track), wrongly
+// merged (different devices, same track) or wrongly split (same device,
+// different tracks).
+type Report struct {
+	Linker  string // linker name
+	MACs    int    // observed MACs with known ground truth
+	Tracks  int    // distinct tracks over those MACs
+	Devices int    // distinct true devices over those MACs
+	Links   int    // cross-MAC merges the linker performed
+
+	TruePairs   int // same-device pairs grouped together
+	FalsePairs  int // cross-device pairs grouped together
+	MissedPairs int // same-device pairs split apart
+
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// NewReport grades assignments against truth, which maps every observed
+// MAC to its device's stable identity MAC. MACs absent from truth (the
+// attacker's own transmissions, sentinels) are ignored.
+func NewReport(name string, assignments map[ieee80211.MAC]TrackID, links int, truth map[ieee80211.MAC]ieee80211.MAC) Report {
+	type cell struct {
+		track  TrackID
+		device ieee80211.MAC
+	}
+	cells := make(map[cell]int)
+	perTrack := make(map[TrackID]int)
+	perDevice := make(map[ieee80211.MAC]int)
+	n := 0
+	for m, id := range assignments {
+		dev, ok := truth[m]
+		if !ok {
+			continue
+		}
+		n++
+		cells[cell{id, dev}]++
+		perTrack[id]++
+		perDevice[dev]++
+	}
+	pairs := func(k int) int { return k * (k - 1) / 2 }
+	tp := 0
+	for _, k := range cells {
+		tp += pairs(k)
+	}
+	grouped, same := 0, 0
+	for _, k := range perTrack {
+		grouped += pairs(k)
+	}
+	for _, k := range perDevice {
+		same += pairs(k)
+	}
+	r := Report{
+		Linker:      name,
+		MACs:        n,
+		Tracks:      len(perTrack),
+		Devices:     len(perDevice),
+		Links:       links,
+		TruePairs:   tp,
+		FalsePairs:  grouped - tp,
+		MissedPairs: same - tp,
+	}
+	r.Precision = ratio(tp, grouped)
+	r.Recall = ratio(tp, same)
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// ratio returns num/den, defining an empty denominator as perfect: a run
+// with no linkable pairs has nothing to get wrong.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// String renders the report as a single summary line.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %d MACs -> %d tracks (%d devices, %d links)  P=%.3f R=%.3f F1=%.3f",
+		r.Linker, r.MACs, r.Tracks, r.Devices, r.Links, r.Precision, r.Recall, r.F1)
+}

@@ -67,6 +67,9 @@ func (cfg Config) normalized() (Config, error) {
 	if cfg.FrameLoss < 0 || cfg.FrameLoss >= 1 {
 		return cfg, fmt.Errorf("scenario: frame loss %v outside [0,1)", cfg.FrameLoss)
 	}
+	if err := cfg.validateLinking(); err != nil {
+		return cfg, err
+	}
 	if cfg.ScanInterval <= 0 {
 		cfg.ScanInterval = client.DefaultScanInterval
 	}

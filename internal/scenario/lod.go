@@ -372,6 +372,7 @@ func (tm *tierManager) promote(p *pedestrian, w promoWindow) {
 			RandomizeMAC:  cfg.RandomizeMACFraction > 0 && p.rng.Float64() < cfg.RandomizeMACFraction,
 			Obs:           tm.env.rt,
 		}
+		cfg.applyRandomization(&ccfg)
 		c, err = client.New(tm.env.engine, tm.env.medium, p.rng, ccfg)
 		if err == nil {
 			c.SetPos(pos)
@@ -469,15 +470,15 @@ func (tm *tierManager) result(now time.Duration, engines []*core.Engine) *FarFie
 	attackers := attackerSet(tm.sites)
 	for _, p := range tm.peds {
 		var st client.Stats
-		var mac ieee80211.MAC
+		var macs []ieee80211.MAC
 		switch {
 		case p.cur != nil:
 			st = p.cur.Stats
-			mac = p.cur.Addr()
+			macs = p.cur.UsedMACs()
 			p.lastDemote = now
 		case p.snap != nil:
 			st = p.snap.Stats
-			mac = p.snap.Config.MAC
+			macs = snapshotMACs(p.snap)
 		default:
 			continue // never promoted: nothing on air, nothing to report
 		}
@@ -489,9 +490,10 @@ func (tm *tierManager) result(now time.Duration, engines []*core.Engine) *FarFie
 			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
 			Connected:    st.Connected && attackers[st.ConnectedTo],
 			ConnectedAt:  st.ConnectedAt,
+			MACsUsed:     len(macs),
 		}
 		for _, eng := range engines {
-			o.SSIDsSent += eng.SentCount(mac)
+			o.SSIDsSent += eng.SentCountAcross(macs)
 		}
 		if o.Connected {
 			if si, ok := siteByMAC[st.ConnectedTo]; ok {

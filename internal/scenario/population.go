@@ -170,6 +170,7 @@ func (p *population) spawnMember(list pnl.List, moving bool, path mobility.Path,
 		RandomizeMAC:  p.cfg.RandomizeMACFraction > 0 && p.rng.Float64() < p.cfg.RandomizeMACFraction,
 		Obs:           p.obs,
 	}
+	p.cfg.applyRandomization(&cfg)
 	if p.cfg.PreconnectedFraction > 0 && p.rng.Float64() < p.cfg.PreconnectedFraction {
 		cfg.PreconnectedBSSID = p.legitMAC
 	}
@@ -248,9 +249,10 @@ func (p *population) outcomes(now time.Duration, engines []*core.Engine) []stats
 			Probed:       st.BroadcastProbes+st.DirectProbes > 0,
 			Connected:    st.Connected && p.attackers[st.ConnectedTo],
 			ConnectedAt:  st.ConnectedAt,
+			MACsUsed:     len(m.c.UsedMACs()),
 		}
 		for _, eng := range engines {
-			o.SSIDsSent += eng.SentCount(m.c.Addr())
+			o.SSIDsSent += eng.SentCountAcross(m.c.UsedMACs())
 		}
 		out = append(out, o)
 	}

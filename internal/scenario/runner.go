@@ -7,11 +7,13 @@ import (
 
 	"cityhunter/internal/attack"
 	"cityhunter/internal/citygen"
+	"cityhunter/internal/client"
 	"cityhunter/internal/core"
 	"cityhunter/internal/detect"
 	"cityhunter/internal/geo"
 	"cityhunter/internal/heatmap"
 	"cityhunter/internal/ieee80211"
+	"cityhunter/internal/linker"
 	"cityhunter/internal/mobility"
 	"cityhunter/internal/obs"
 	"cityhunter/internal/pnl"
@@ -98,6 +100,23 @@ type Config struct {
 	// RandomizeMACFraction is the share of phones rotating their probe
 	// MAC every scan (the modern OS default while unassociated).
 	RandomizeMACFraction float64
+	// Randomization upgrades the randomizing share from the legacy
+	// per-scan flag to an explicit rotation policy; those phones also
+	// emit their chipset IE fingerprint, the observable the linker
+	// exploits. client.RandomizeNone (the zero value) keeps the
+	// historical per-scan behaviour byte-identically.
+	Randomization client.RandomizationPolicy
+	// RandomizeEvery is the rotation period under
+	// client.RandomizeTimed; 0 selects client.DefaultRandomizeEvery.
+	RandomizeEvery time.Duration
+	// FingerprintModels is how many distinct chipset fingerprints the
+	// population draws from; 0 selects the default (24). Smaller values
+	// mean more fingerprint collisions between phones.
+	FingerprintModels int
+	// Linker selects the attacker's MAC de-anonymisation strategy; the
+	// zero value (LinkerMAC) is the historical one-MAC-one-device
+	// mapping. Ignored when CoreConfig supplies its own Linker.
+	Linker LinkerKind
 	// Sentinel attaches a passive many-SSIDs-one-BSSID detector at the
 	// venue; Result.Sentinel exposes its findings.
 	Sentinel bool
@@ -189,6 +208,11 @@ type Result struct {
 	Journal *obs.Journal
 	// Spans is the Perfetto span trace, when Config.SpanTrace was set.
 	Spans *obs.Trace
+	// Links grades the engine's linker against the population's
+	// ground-truth device identities: how precisely the attacker
+	// re-linked rotated MACs back to devices. Nil for KARMA/MANA runs
+	// (no engine, no track database).
+	Links *linker.Report
 }
 
 // Breakdown returns the Fig. 6 classification of the SSIDs that hit

@@ -86,6 +86,13 @@ func buildStrategy(cfg Config, positions []geo.Point, coreSeed int64) (strategyS
 		if ccfg.Seed == 0 {
 			ccfg.Seed = coreSeed
 		}
+		if ccfg.Linker == nil && cfg.Linker != LinkerMAC {
+			lk, err := newLinker(cfg.Linker)
+			if err != nil {
+				return strategySet{}, err
+			}
+			ccfg.Linker = lk
+		}
 		seedDB := cfg.WiGLE
 		if seedDB == nil {
 			seedDB = cfg.City.DB
@@ -325,6 +332,7 @@ func assembleResult(env *runEnv, st *site, pop *population, slot int, simulated 
 		CanaryDetections:   canaryDetections,
 	}
 	res.Tally = stats.NewTally(res.Outcomes)
+	res.Links = linkReport(st.set.chEngine, memberDevices(pop.members))
 	for _, v := range res.Victims {
 		res.HitsByVictimDirect[v.MAC] = v.DirectProber
 	}

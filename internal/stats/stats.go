@@ -27,6 +27,10 @@ type ClientOutcome struct {
 	ConnectedAt time.Duration
 	// SSIDsSent counts the distinct SSIDs the attacker tried on it.
 	SSIDsSent int
+	// MACsUsed counts the source MACs the phone appeared under — 1 for a
+	// stable-MAC phone, more under MAC randomization. Far-field outcomes
+	// assembled from legacy snapshots may leave it 0 (unknown).
+	MACsUsed int
 }
 
 // Tally is the paper's table row: client counts and hit rates.
